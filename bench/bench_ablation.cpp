@@ -1,0 +1,212 @@
+// Ablation studies of the design choices DESIGN.md calls out:
+//
+//  1. Cost of determinism: linearHash-D vs linearHash-ND inserts, by load —
+//     isolates the priority-swap overhead.
+//  2. Cost of combining: deterministic pair inserts with duplicate keys,
+//     full-entry 16-byte CAS (D) vs in-place value merge (ND), by
+//     duplication rate.
+//  3. Find early-exit: the ordering invariant lets linearHash-D finds stop
+//     early on ABSENT keys; ND must scan to an empty slot.
+//  4. Growable overhead: growable_table vs pre-sized deterministic_table.
+//  5. Phase-check overhead: checked_phases vs unchecked_phases.
+//  6. Tombstone deletion (Gao et al., §2) vs back-shift deletion under
+//     churn: find cost after repeated insert/delete phases.
+//  7. Automatic phasing via room synchronizations (auto_phased_table, the
+//     paper's future-work item) vs caller-separated phases.
+//  8. Batched operations with software prefetch (core/batch_ops.h) vs plain
+//     per-op loops — memory-level parallelism for the phase-batch pattern.
+#include <optional>
+
+#include "bench_common.h"
+#include "phch/core/auto_phased_table.h"
+#include "phch/core/batch_ops.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/growable_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/core/tombstone_table.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/workloads/sequences.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+int main() {
+  const std::size_t n = scaled_size(1000000);
+  std::printf("Ablations (n = %zu, threads = %d)\n", n, num_workers());
+
+  // 1. determinism cost by load
+  {
+    std::printf("\n--- priority-swap overhead (insert, uniform keys) ---\n");
+    std::printf("  %6s %14s %14s %8s\n", "load", "linearHash-D", "linearHash-ND",
+                "D/ND");
+    for (const double load : {0.1, 0.33, 0.6, 0.8}) {
+      const std::size_t cap = round_up_pow2(static_cast<std::size_t>(n / load));
+      const auto keys = workloads::random_int_seq(n, 1);
+      std::optional<deterministic_table<int_entry<>>> td;
+      const double d = time_median(
+          [&] { td.emplace(cap); },
+          [&] { parallel_for(0, n, [&](std::size_t i) { td->insert(keys[i]); }); });
+      std::optional<nd_linear_table<int_entry<>>> tn;
+      const double nd = time_median(
+          [&] { tn.emplace(cap); },
+          [&] { parallel_for(0, n, [&](std::size_t i) { tn->insert(keys[i]); }); });
+      std::printf("  %6.2f %12.3f s %12.3f s %8.2f\n", load, d, nd, d / nd);
+    }
+  }
+
+  // 2. combining cost by duplication
+  {
+    std::printf("\n--- duplicate-key combining: 16B CAS (D) vs in-place xadd (ND) ---\n");
+    std::printf("  %10s %14s %14s %8s\n", "distinct", "D (CAS pair)", "ND (xadd)",
+                "D/ND");
+    for (const std::size_t distinct : {n, n / 10, n / 100, n / 1000}) {
+      const std::size_t cap = round_up_pow2(3 * n);
+      std::optional<deterministic_table<pair_entry<combine_add>>> td;
+      const double d = time_median(
+          [&] { td.emplace(cap); },
+          [&] {
+            parallel_for(0, n, [&](std::size_t i) {
+              td->insert(kv64{1 + hash64(i) % distinct, 1});
+            });
+          });
+      std::optional<nd_linear_table<pair_entry<combine_add>>> tn;
+      const double nd = time_median(
+          [&] { tn.emplace(cap); },
+          [&] {
+            parallel_for(0, n, [&](std::size_t i) {
+              tn->insert(kv64{1 + hash64(i) % distinct, 1});
+            });
+          });
+      std::printf("  %10zu %12.3f s %12.3f s %8.2f\n", distinct, d, nd, d / nd);
+    }
+  }
+
+  // 3. absent-key find early exit
+  {
+    std::printf("\n--- find of ABSENT keys: ordering-invariant early exit ---\n");
+    const std::size_t cap = round_up_pow2(2 * n);
+    deterministic_table<int_entry<>> td(cap);
+    nd_linear_table<int_entry<>> tn(cap);
+    parallel_for(0, n, [&](std::size_t i) { td.insert(2 * (hash64(i) % n) + 2); });
+    parallel_for(0, n, [&](std::size_t i) { tn.insert(2 * (hash64(i) % n) + 2); });
+    std::vector<std::uint8_t> sink(n);
+    const double d = time_median([] {}, [&] {
+      parallel_for(0, n, [&](std::size_t i) {
+        sink[i] = td.contains(2 * (hash64(i) % n) + 1);  // all odd: absent
+      });
+    });
+    const double nd = time_median([] {}, [&] {
+      parallel_for(0, n, [&](std::size_t i) {
+        sink[i] = tn.contains(2 * (hash64(i) % n) + 1);
+      });
+    });
+    std::printf("  linearHash-D  %8.3f s\n  linearHash-ND %8.3f s  (D/ND %.2f; the\n"
+                "  paper notes absent-key finds can be *cheaper* than standard probing)\n",
+                d, nd, d / nd);
+  }
+
+  // 4. growable vs pre-sized
+  {
+    std::printf("\n--- resizing overhead: growable_table vs pre-sized table ---\n");
+    const auto keys = workloads::random_int_seq(n, 1);
+    std::optional<deterministic_table<int_entry<>>> fixed;
+    const double f = time_median(
+        [&] { fixed.emplace(round_up_pow2(3 * n)); },
+        [&] { parallel_for(0, n, [&](std::size_t i) { fixed->insert(keys[i]); }); });
+    std::optional<growable_table<int_entry<>>> grow;
+    const double g = time_median(
+        [&] { grow.emplace(1024); },
+        [&] { parallel_for(0, n, [&](std::size_t i) { grow->insert(keys[i]); }); });
+    std::printf("  pre-sized %8.3f s, growable-from-1024 %8.3f s (overhead %.2fx, "
+                "%zu growths)\n", f, g, g / f, grow->growth_count());
+  }
+
+  // 5. phase-check overhead
+  {
+    std::printf("\n--- checked_phases overhead (debug feature) ---\n");
+    const auto keys = workloads::random_int_seq(n, 1);
+    const std::size_t cap = round_up_pow2(3 * n);
+    std::optional<deterministic_table<int_entry<>>> plain;
+    const double p = time_median(
+        [&] { plain.emplace(cap); },
+        [&] { parallel_for(0, n, [&](std::size_t i) { plain->insert(keys[i]); }); });
+    std::optional<deterministic_table<int_entry<>, checked_phases>> chk;
+    const double c = time_median(
+        [&] { chk.emplace(cap); },
+        [&] { parallel_for(0, n, [&](std::size_t i) { chk->insert(keys[i]); }); });
+    std::printf("  unchecked %8.3f s, checked %8.3f s (%.2fx)\n", p, c, c / p);
+  }
+
+  // 6. tombstones vs back-shift under churn
+  {
+    std::printf("\n--- deletion strategy under churn: tombstones vs back-shift ---\n");
+    const std::size_t live = n / 8;
+    const std::size_t cap = round_up_pow2(4 * live);
+    tombstone_table<int_entry<>> tomb(cap);
+    nd_linear_table<int_entry<>> shift(cap);
+    std::printf("  %8s %14s %14s %16s\n", "round", "tombstone find", "backshift find",
+                "tomb footprint");
+    std::vector<std::uint8_t> sink(live);
+    for (int round = 0; round < 5; ++round) {
+      const auto keys = tabulate(live, [&](std::size_t i) {
+        return 1 + hash64(static_cast<std::uint64_t>(round) * live + i) % (1ULL << 40);
+      });
+      parallel_for(0, live, [&](std::size_t i) { tomb.insert(keys[i]); });
+      parallel_for(0, live, [&](std::size_t i) { shift.insert(keys[i]); });
+      const double tf = time_once([&] {
+        parallel_for(0, live, [&](std::size_t i) { sink[i] = tomb.contains(keys[i]); });
+      });
+      const double sf = time_once([&] {
+        parallel_for(0, live, [&](std::size_t i) { sink[i] = shift.contains(keys[i]); });
+      });
+      std::printf("  %8d %12.4f s %12.4f s %15zu\n", round, tf, sf, tomb.footprint());
+      parallel_for(0, live, [&](std::size_t i) { tomb.erase(keys[i]); });
+      parallel_for(0, live, [&](std::size_t i) { shift.erase(keys[i]); });
+    }
+    std::printf("  (tombstone finds degrade as garbage accumulates; back-shift stays flat)\n");
+  }
+
+  // 7. automatic phasing overhead
+  {
+    std::printf("\n--- room-synchronized automatic phasing vs caller phases ---\n");
+    const auto keys = workloads::random_int_seq(n, 1);
+    const std::size_t cap = round_up_pow2(3 * n);
+    std::optional<deterministic_table<int_entry<>>> raw;
+    const double r = time_median(
+        [&] { raw.emplace(cap); },
+        [&] { parallel_for(0, n, [&](std::size_t i) { raw->insert(keys[i]); }); });
+    std::optional<auto_phased_table<deterministic_table<int_entry<>>>> ap;
+    const double a = time_median(
+        [&] { ap.emplace(cap); },
+        [&] { parallel_for(0, n, [&](std::size_t i) { ap->insert(keys[i]); }); });
+    std::printf("  caller-phased %8.3f s, auto-phased %8.3f s (%.2fx; single-class\n"
+                "  streams pay only the room fast path)\n", r, a, a / r);
+  }
+
+  // 8. prefetched batches vs per-op loops
+  {
+    std::printf("\n--- batched ops with software prefetch vs plain loops ---\n");
+    const auto keys = workloads::random_int_seq(n, 1);
+    const std::size_t cap = round_up_pow2(3 * n);
+    std::optional<deterministic_table<int_entry<>>> t;
+    const double plain_ins = time_median(
+        [&] { t.emplace(cap); },
+        [&] { parallel_for(0, n, [&](std::size_t i) { t->insert(keys[i]); }); });
+    const double batch_ins = time_median(
+        [&] { t.emplace(cap); }, [&] { insert_batch(*t, keys); });
+    std::vector<std::uint8_t> sink(n);
+    const double plain_find = time_median([] {}, [&] {
+      parallel_for(0, n, [&](std::size_t i) { sink[i] = t->contains(keys[i]); });
+    });
+    double batch_find;
+    {
+      std::vector<std::uint64_t> found_values;
+      batch_find = time_median([] {}, [&] { found_values = find_batch(*t, keys); });
+    }
+    std::printf("  insert: plain %8.3f s, batch %8.3f s (%.2fx)\n", plain_ins, batch_ins,
+                plain_ins / batch_ins);
+    std::printf("  find:   plain %8.3f s, batch %8.3f s (%.2fx)\n", plain_find,
+                batch_find, plain_find / batch_find);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared benchmark harness.
+//
+// Scaling: the paper ran n = 1e8 operations on a 40-core machine with
+// 256 GB of RAM. Benchmarks here default to sizes that finish promptly on a
+// small machine and scale with:
+//     PHCH_SCALE=<mult>    multiply all problem sizes (PHCH_SCALE=100 for
+//                          paper-sized runs on comparable hardware)
+//     PHCH_THREADS=<p>     worker threads
+//     PHCH_REPS=<r>        timing repetitions (median reported; default 3)
+//
+// Every binary prints a table of measured seconds plus, where meaningful,
+// the paper's reported numbers so the *shape* (who wins, by what factor)
+// can be compared directly; absolute values are machine-dependent.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "phch/parallel/scheduler.h"
+#include "phch/utils/env.h"
+#include "phch/utils/timer.h"
+
+namespace phch::bench {
+
+inline long reps() { return std::max(1L, env_long("PHCH_REPS", 3)); }
+
+// Median wall time of reps() runs of body(); setup() runs before each.
+template <typename Setup, typename Body>
+double time_median(Setup&& setup, Body&& body) {
+  std::vector<double> ts;
+  for (long r = 0; r < reps(); ++r) {
+    setup();
+    timer t;
+    body();
+    ts.push_back(t.elapsed());
+  }
+  std::sort(ts.begin(), ts.end());
+  return ts[ts.size() / 2];
+}
+
+template <typename Body>
+double time_once(Body&& body) {
+  timer t;
+  body();
+  return t.elapsed();
+}
+
+inline void print_header(const char* title, std::size_t n) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("n = %zu, threads = %d, reps = %ld (median)\n", n, num_workers(), reps());
+}
+
+inline void print_row(const char* impl, double seconds) {
+  std::printf("  %-18s %10.4f s\n", impl, seconds);
+}
+
+inline void print_row_vs(const char* impl, double seconds, double paper_40h) {
+  if (paper_40h > 0)
+    std::printf("  %-18s %10.4f s    [paper 40h: %7.3f s]\n", impl, seconds, paper_40h);
+  else
+    std::printf("  %-18s %10.4f s\n", impl, seconds);
+}
+
+// Ratio line: "A / B" with the paper's corresponding ratio for shape checks.
+inline void print_ratio(const char* what, double ours, double paper) {
+  std::printf("  shape: %-40s measured %5.2fx   paper %5.2fx\n", what, ours, paper);
+}
+
+}  // namespace phch::bench

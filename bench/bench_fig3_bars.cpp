@@ -1,0 +1,134 @@
+// Figure 3(a,b): the paper's headline bar charts — Insert, Find Random,
+// Delete Random, Elements on 40 cores for randomSeq-int (a) and
+// trigramSeq-pairInt (b), across all implementations.
+//
+// We reproduce the two panels and, for each, compare the *shape* against
+// the paper's reported 40-core numbers: the ratio of every implementation
+// to linearHash-D. Absolute times differ (different machine and scale);
+// ratios are what the figure communicates.
+#include <optional>
+
+#include "bench_common.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/hopscotch_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+struct fig3_ops {
+  double insert = 0, find_rand = 0, del_rand = 0, elements = 0;
+};
+
+// Paper Table 1, (40h) columns, seconds.
+struct paper_row {
+  const char* impl;
+  fig3_ops random_int;
+  fig3_ops trigram_pair;
+};
+constexpr paper_row kPaper[] = {
+    {"linearHash-D", {0.171, 0.114, 0.211, 0.0511}, {0.204, 0.219, 0.109, 0.056}},
+    {"linearHash-ND", {0.170, 0.119, 0.213, 0.0504}, {0.174, 0.190, 0.109, 0.0554}},
+    {"cuckooHash", {0.364, 0.210, 0.210, 0.0791}, {0.242, 0.240, 0.166, 0.0866}},
+    {"chainedHash", {0.774, 0.356, 0.630, 0.159}, {18.4, 0.364, 2.70, 0.0789}},
+    {"chainedHash-CR", {0.708, 0.359, 0.571, 0.165}, {0.438, 0.365, 0.137, 0.0785}},
+    {"hopscotchHash", {0.349, 0.173, 0.302, 0.114}, {2.36, 0.236, 1.29, 0.275}},
+    {"hopscotchHash-PC", {0.345, 0.151, 0.301, 0.112}, {2.45, 0.241, 1.34, 0.274}},
+};
+
+template <typename Table, typename V, typename KeyOf>
+fig3_ops run_one(const std::vector<V>& ins, const std::vector<V>& rnd, std::size_t cap,
+                 KeyOf key_of) {
+  std::optional<Table> t;
+  auto fill = [&] {
+    parallel_for(0, ins.size(), [&](std::size_t i) { t->insert(ins[i]); });
+  };
+  fig3_ops r;
+  r.insert = time_median([&] { t.emplace(cap); }, fill);
+  std::vector<std::uint8_t> sink(rnd.size());
+  r.find_rand = time_median([] {}, [&] {
+    parallel_for(0, rnd.size(),
+                 [&](std::size_t i) { sink[i] = t->contains(key_of(rnd[i])); });
+  });
+  r.elements = time_median([] {}, [&] { sink[0] = t->elements().size() & 1; });
+  r.del_rand = time_median(
+      [&] {
+        t.emplace(cap);
+        fill();
+      },
+      [&] {
+        parallel_for(0, rnd.size(), [&](std::size_t i) { t->erase(key_of(rnd[i])); });
+      });
+  return r;
+}
+
+void report(const char* panel, const std::vector<fig3_ops>& measured,
+            const fig3_ops paper_row::*panel_sel) {
+  std::printf("\n--- Figure 3%s ---\n", panel);
+  std::printf("  %-18s %8s %8s %8s %8s   (ratio to linearHash-D: measured | paper)\n",
+              "impl", "insert", "findR", "delR", "elems");
+  const fig3_ops& base = measured[0];
+  const fig3_ops& pbase = kPaper[0].*panel_sel;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    const fig3_ops& m = measured[i];
+    const fig3_ops& p = kPaper[i].*panel_sel;
+    std::printf("  %-18s %8.3f %8.3f %8.3f %8.3f   ins %4.2f|%4.2f  del %4.2f|%4.2f\n",
+                kPaper[i].impl, m.insert, m.find_rand, m.del_rand, m.elements,
+                m.insert / base.insert, p.insert / pbase.insert,
+                m.del_rand / base.del_rand, p.del_rand / pbase.del_rand);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled_size(1000000);
+  std::printf("Figure 3: hash table comparison panels (paper: 1e8 ops, 40h threads)\n");
+  std::printf("n = %zu, threads = %d\n", n, num_workers());
+
+  {
+    const auto ins = workloads::random_int_seq(n, 1);
+    const auto rnd = workloads::random_int_seq(n, 2);
+    const std::size_t cap = round_up_pow2(2 * n + 16);
+    auto kf = [](std::uint64_t v) { return v; };
+    std::vector<fig3_ops> m;
+    m.push_back(run_one<deterministic_table<int_entry<>>>(ins, rnd, cap, kf));
+    m.push_back(run_one<nd_linear_table<int_entry<>>>(ins, rnd, cap, kf));
+    m.push_back(run_one<cuckoo_table<int_entry<>>>(ins, rnd, cap, kf));
+    m.push_back(run_one<chained_table<int_entry<>, false>>(ins, rnd, cap, kf));
+    m.push_back(run_one<chained_table<int_entry<>, true>>(ins, rnd, cap, kf));
+    m.push_back(run_one<hopscotch_table<int_entry<>, true>>(ins, rnd, cap, kf));
+    m.push_back(run_one<hopscotch_table<int_entry<>, false>>(ins, rnd, cap, kf));
+    report("(a): randomSeq-int", m, &paper_row::random_int);
+  }
+  {
+    const auto ins = workloads::trigram_pair_seq(n, 1);
+    const auto rnd = workloads::trigram_pair_seq(n, 2);
+    const std::size_t cap = round_up_pow2(2 * n + 16);
+    auto kf = [](const string_kv* v) { return v->key; };
+    std::vector<fig3_ops> m;
+    m.push_back(
+        run_one<deterministic_table<string_pair_entry>>(ins.entries, rnd.entries, cap, kf));
+    m.push_back(
+        run_one<nd_linear_table<string_pair_entry>>(ins.entries, rnd.entries, cap, kf));
+    m.push_back(
+        run_one<cuckoo_table<string_pair_entry>>(ins.entries, rnd.entries, cap, kf));
+    m.push_back(run_one<chained_table<string_pair_entry, false>>(ins.entries,
+                                                                 rnd.entries, cap, kf));
+    m.push_back(run_one<chained_table<string_pair_entry, true>>(ins.entries, rnd.entries,
+                                                                cap, kf));
+    m.push_back(run_one<hopscotch_table<string_pair_entry, true>>(ins.entries,
+                                                                  rnd.entries, cap, kf));
+    m.push_back(run_one<hopscotch_table<string_pair_entry, false>>(ins.entries,
+                                                                   rnd.entries, cap, kf));
+    report("(b): trigramSeq-pairInt", m, &paper_row::trigram_pair);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 4(a,b): speedup of linearHash-D over serialHash-HI as thread count
+// grows, for randomSeq-int (a) and trigramSeq-pairInt (b), for each of
+// Insert / Find Random / Delete Random / Elements.
+//
+// On this machine the thread sweep covers 1 .. hardware threads (the paper
+// swept 1 .. 80 hyper-threads on 40 cores); the expected shape is
+// monotone-increasing speedup for all four operations. With only one
+// hardware core the "speedup" stays near (or below) 1 — oversubscription
+// measures overhead, not parallelism; see EXPERIMENTS.md.
+#include <optional>
+
+#include "bench_common.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/serial_table.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+struct four {
+  double insert, find_rand, del_rand, elements;
+};
+
+template <typename Table, bool Concurrent, typename V, typename KeyOf>
+four run_ops(const std::vector<V>& ins, const std::vector<V>& rnd, std::size_t cap,
+             KeyOf key_of) {
+  std::optional<Table> t;
+  auto fill = [&] {
+    if constexpr (Concurrent) {
+      parallel_for(0, ins.size(), [&](std::size_t i) { t->insert(ins[i]); });
+    } else {
+      for (const auto& v : ins) t->insert(v);
+    }
+  };
+  four r{};
+  r.insert = time_median([&] { t.emplace(cap); }, fill);
+  std::vector<std::uint8_t> sink(rnd.size());
+  r.find_rand = time_median([] {}, [&] {
+    if constexpr (Concurrent) {
+      parallel_for(0, rnd.size(),
+                   [&](std::size_t i) { sink[i] = t->contains(key_of(rnd[i])); });
+    } else {
+      for (std::size_t i = 0; i < rnd.size(); ++i) sink[i] = t->contains(key_of(rnd[i]));
+    }
+  });
+  r.elements = time_median([] {}, [&] { sink[0] = t->elements().size() & 1; });
+  r.del_rand = time_median(
+      [&] {
+        t.emplace(cap);
+        fill();
+      },
+      [&] {
+        if constexpr (Concurrent) {
+          parallel_for(0, rnd.size(), [&](std::size_t i) { t->erase(key_of(rnd[i])); });
+        } else {
+          for (const auto& v : rnd) t->erase(key_of(v));
+        }
+      });
+  return r;
+}
+
+template <typename Traits, typename V, typename KeyOf>
+void panel(const char* name, const std::vector<V>& ins, const std::vector<V>& rnd,
+           KeyOf key_of) {
+  const std::size_t cap = round_up_pow2(2 * ins.size() + 16);
+  std::printf("\n--- Figure 4%s ---\n", name);
+  const four serial =
+      run_ops<serial_table_hi<Traits>, false>(ins, rnd, cap, key_of);
+  std::printf("  serialHash-HI baseline: ins %.3fs findR %.3fs delR %.3fs elems %.3fs\n",
+              serial.insert, serial.find_rand, serial.del_rand, serial.elements);
+  std::printf("  %8s %10s %10s %10s %10s   (speedup vs serialHash-HI)\n", "threads",
+              "insert", "findR", "delR", "elems");
+  scheduler& sched = scheduler::get();
+  const int original = sched.num_workers();
+  const int max_p = std::max(original, 4);
+  for (int p = 1; p <= max_p; p *= 2) {
+    sched.set_num_workers(p);
+    const four m = run_ops<deterministic_table<Traits>, true>(ins, rnd, cap, key_of);
+    std::printf("  %8d %10.2f %10.2f %10.2f %10.2f\n", p, serial.insert / m.insert,
+                serial.find_rand / m.find_rand, serial.del_rand / m.del_rand,
+                serial.elements / m.elements);
+  }
+  sched.set_num_workers(original);
+  std::printf("  paper (40 cores, 80 hyper-threads): insert ~23x, find ~35x, "
+              "delete ~23x, elements ~19x on randomSeq-int; up to 52x overall\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled_size(1000000);
+  std::printf("Figure 4: speedup of linearHash-D over serialHash-HI\n");
+  std::printf("n = %zu (paper: 1e8, table 2^28)\n", n);
+  {
+    const auto ins = workloads::random_int_seq(n, 1);
+    const auto rnd = workloads::random_int_seq(n, 2);
+    panel<int_entry<>>("(a): randomSeq-int", ins, rnd, [](std::uint64_t v) { return v; });
+  }
+  {
+    const auto ins = workloads::trigram_pair_seq(n, 1);
+    const auto rnd = workloads::trigram_pair_seq(n, 2);
+    panel<string_pair_entry>("(b): trigramSeq-pairInt", ins.entries, rnd.entries,
+                             [](const string_kv* v) { return v->key; });
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 5: nanoseconds per operation on linearHash-D as a function of the
+// load factor (table pre-filled to the load, then timed).
+//
+// Expected shape (paper): find/insert/delete cost grows slowly up to ~0.7
+// load, then climbs rapidly toward full; elements-per-slot cost is flat.
+#include <optional>
+
+#include "bench_common.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/workloads/sequences.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+int main() {
+  const std::size_t cap = round_up_pow2(scaled_size(1 << 21));
+  const std::size_t batch = cap / 8;  // ops timed per measurement
+  std::printf("Figure 5: per-op cost vs load factor, linearHash-D\n");
+  std::printf("table capacity = %zu, %d threads (paper: 2^27 slots, 40h)\n", cap,
+              num_workers());
+  std::printf("  %6s %12s %12s %12s %12s\n", "load", "insert ns", "find ns",
+              "delete ns", "elems ns/slot");
+
+  // Distinct keys (int_entry hashes them, so sequential ids scatter) keep
+  // the nominal load exact.
+  const auto pool = tabulate(cap, [](std::size_t i) { return std::uint64_t{i + 1}; });
+
+  for (const double load : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    const std::size_t fill = static_cast<std::size_t>(load * static_cast<double>(cap));
+    std::optional<deterministic_table<int_entry<>>> t;
+    auto setup = [&] {
+      t.emplace(cap);
+      parallel_for(0, fill, [&](std::size_t i) { t->insert(pool[i]); });
+    };
+    setup();
+
+    std::vector<std::uint8_t> sink(batch);
+    const double t_find = time_median([] {}, [&] {
+      parallel_for(0, batch, [&](std::size_t i) { sink[i] = t->contains(pool[i]); });
+    });
+    const double t_elems = time_median([] {}, [&] {
+      sink[0] = t->elements().size() & 1;
+    });
+    // Insert a fresh batch of keys beyond the pool range, then delete it so
+    // the load returns to nominal between reps. The batch shrinks near full
+    // so the table never overflows.
+    const std::size_t ins_batch = std::min(batch, (cap - fill) / 2 + 1);
+    double t_ins = 0;
+    double t_del = 0;
+    for (long r = 0; r < reps(); ++r) {
+      t_ins += time_once([&] {
+        parallel_for(0, ins_batch,
+                     [&](std::size_t i) { t->insert(cap + 1 + i); });
+      });
+      t_del += time_once([&] {
+        parallel_for(0, ins_batch, [&](std::size_t i) { t->erase(cap + 1 + i); });
+      });
+    }
+    t_ins /= static_cast<double>(reps());
+    t_del /= static_cast<double>(reps());
+
+    std::printf("  %6.2f %12.1f %12.1f %12.1f %12.2f\n", load,
+                1e9 * t_ins / static_cast<double>(ins_batch),
+                1e9 * t_find / static_cast<double>(batch),
+                1e9 * t_del / static_cast<double>(ins_batch),
+                1e9 * t_elems / static_cast<double>(cap));
+  }
+  std::printf("shape check (paper): costs rise slowly to ~0.7 load, then sharply; at\n"
+              "0.95 load inserts/deletes are several times the 0.1-load cost.\n");
+  return 0;
+}

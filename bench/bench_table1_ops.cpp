@@ -1,0 +1,163 @@
+// Table 1 (and the data behind Figure 3): Insert / Find-Random /
+// Find-Inserted / Delete-Random / Delete-Inserted / Elements for all nine
+// hash table implementations across the six PBBS input distributions.
+//
+// Output: one matrix per distribution, seconds per full pass of n
+// operations. The paper ran n = 1e8 on 40 cores; defaults here are scaled
+// (see bench_common.h). Shape to verify against the paper:
+//   - linearHash-D within ~10% of linearHash-ND on all ops;
+//   - both linear tables beat cuckoo, chained and hopscotch on updates;
+//   - chainedHash (non-CR) collapses on duplicate-heavy inputs.
+#include <optional>
+
+#include "bench_common.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/hopscotch_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/core/serial_table.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+struct six_ops {
+  double insert = 0, find_rand = 0, find_ins = 0, del_rand = 0, del_ins = 0,
+         elements = 0;
+};
+
+template <typename Table, bool Concurrent, typename V, typename KeyOf>
+six_ops run_one(const std::vector<V>& ins, const std::vector<V>& rnd, std::size_t cap,
+                KeyOf key_of) {
+  auto fill = [&](Table& t) {
+    if constexpr (Concurrent) {
+      parallel_for(0, ins.size(), [&](std::size_t i) { t.insert(ins[i]); });
+    } else {
+      for (const auto& v : ins) t.insert(v);
+    }
+  };
+  std::optional<Table> t;
+  six_ops r;
+
+  r.insert = time_median([&] { t.emplace(cap); }, [&] { fill(*t); });
+
+  // t holds a filled table now; finds and elements are non-mutating.
+  std::vector<std::uint8_t> sink(std::max(ins.size(), rnd.size()));
+  auto find_pass = [&](const std::vector<V>& keys) {
+    if constexpr (Concurrent) {
+      parallel_for(0, keys.size(),
+                   [&](std::size_t i) { sink[i] = t->contains(key_of(keys[i])); });
+    } else {
+      for (std::size_t i = 0; i < keys.size(); ++i)
+        sink[i] = t->contains(key_of(keys[i]));
+    }
+  };
+  r.find_rand = time_median([] {}, [&] { find_pass(rnd); });
+  r.find_ins = time_median([] {}, [&] { find_pass(ins); });
+  r.elements = time_median([] {}, [&] { sink[0] = t->elements().size() & 1; });
+
+  auto erase_pass = [&](const std::vector<V>& keys) {
+    if constexpr (Concurrent) {
+      parallel_for(0, keys.size(), [&](std::size_t i) { t->erase(key_of(keys[i])); });
+    } else {
+      for (const auto& v : keys) t->erase(key_of(v));
+    }
+  };
+  r.del_rand = time_median(
+      [&] {
+        t.emplace(cap);
+        fill(*t);
+      },
+      [&] { erase_pass(rnd); });
+  r.del_ins = time_median(
+      [&] {
+        t.emplace(cap);
+        fill(*t);
+      },
+      [&] { erase_pass(ins); });
+  return r;
+}
+
+void print_ops_row(const char* impl, const six_ops& r) {
+  std::printf("  %-18s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", impl, r.insert,
+              r.find_rand, r.find_ins, r.del_rand, r.del_ins, r.elements);
+}
+
+template <typename Traits, typename V, typename KeyOf>
+void bench_distribution(const char* name, const std::vector<V>& ins,
+                        const std::vector<V>& rnd, KeyOf key_of) {
+  const std::size_t cap = round_up_pow2(2 * ins.size() + 16);
+  print_header(name, ins.size());
+  std::printf("  %-18s %8s %8s %8s %8s %8s %8s\n", "impl", "insert", "findR", "findI",
+              "delR", "delI", "elems");
+  print_ops_row("serialHash-HI", (run_one<serial_table_hi<Traits>, false>(
+                                     ins, rnd, cap, key_of)));
+  print_ops_row("serialHash-HD", (run_one<serial_table_hd<Traits>, false>(
+                                     ins, rnd, cap, key_of)));
+  print_ops_row("linearHash-D", (run_one<deterministic_table<Traits>, true>(
+                                    ins, rnd, cap, key_of)));
+  print_ops_row("linearHash-ND", (run_one<nd_linear_table<Traits>, true>(
+                                     ins, rnd, cap, key_of)));
+  print_ops_row("cuckooHash", (run_one<cuckoo_table<Traits>, true>(
+                                  ins, rnd, cap, key_of)));
+  print_ops_row("chainedHash", (run_one<chained_table<Traits, false>, true>(
+                                   ins, rnd, cap, key_of)));
+  print_ops_row("chainedHash-CR", (run_one<chained_table<Traits, true>, true>(
+                                      ins, rnd, cap, key_of)));
+  print_ops_row("hopscotchHash", (run_one<hopscotch_table<Traits, true>, true>(
+                                     ins, rnd, cap, key_of)));
+  print_ops_row("hopscotchHash-PC", (run_one<hopscotch_table<Traits, false>, true>(
+                                        ins, rnd, cap, key_of)));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled_size(1000000);
+  std::printf("Table 1: hash table operations, %zu ops per cell "
+              "(paper: n = 1e8 on 40 cores)\n", n);
+
+  {
+    const auto ins = workloads::random_int_seq(n, 1);
+    const auto rnd = workloads::random_int_seq(n, 2);
+    bench_distribution<int_entry<>>("randomSeq-int", ins, rnd,
+                                    [](std::uint64_t v) { return v; });
+  }
+  {
+    const auto ins = workloads::random_pair_seq(n, 1);
+    const auto rnd = workloads::random_pair_seq(n, 2);
+    bench_distribution<pair_entry<combine_min>>("randomSeq-pairInt", ins, rnd,
+                                                [](const kv64& v) { return v.k; });
+  }
+  {
+    const auto ins = workloads::trigram_string_seq(n, 1);
+    const auto rnd = workloads::trigram_string_seq(n, 2);
+    bench_distribution<string_entry>("trigramSeq", ins.keys, rnd.keys,
+                                     [](const char* v) { return v; });
+  }
+  {
+    const auto ins = workloads::trigram_pair_seq(n, 1);
+    const auto rnd = workloads::trigram_pair_seq(n, 2);
+    bench_distribution<string_pair_entry>(
+        "trigramSeq-pairInt", ins.entries, rnd.entries,
+        [](const string_kv* v) { return v->key; });
+  }
+  {
+    const auto ins = workloads::expt_int_seq(n, 1);
+    const auto rnd = workloads::expt_int_seq(n, 2);
+    bench_distribution<int_entry<>>("exptSeq-int", ins, rnd,
+                                    [](std::uint64_t v) { return v; });
+  }
+  {
+    const auto ins = workloads::expt_pair_seq(n, 1);
+    const auto rnd = workloads::expt_pair_seq(n, 2);
+    bench_distribution<pair_entry<combine_min>>("exptSeq-pairInt", ins, rnd,
+                                                [](const kv64& v) { return v.k; });
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table 3: remove duplicates with four tables on randomSeq-int,
+// trigramSeq-pairInt, exptSeq-int.
+//
+// Shape (paper, 40h): linearHash-D within 0-23% of linearHash-ND; both
+// clearly faster than cuckooHash; chainedHash-CR slowest.
+#include "bench_common.h"
+#include "phch/apps/remove_duplicates.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+// Paper (40h) seconds: {linearHash-D, linearHash-ND, cuckoo, chained-CR}.
+template <typename Traits, typename V>
+void panel(const char* name, const std::vector<V>& input, const double paper[4]) {
+  // Paper: table size 2^27 for n = 1e8, i.e. ~1.3n.
+  const std::size_t cap = round_up_pow2(input.size() + input.size() / 3);
+  print_header(name, input.size());
+  const double d = time_median([] {}, [&] {
+    apps::remove_duplicates<deterministic_table<Traits>>(input, cap);
+  });
+  const double nd = time_median([] {}, [&] {
+    apps::remove_duplicates<nd_linear_table<Traits>>(input, cap);
+  });
+  const double ck = time_median([] {}, [&] {
+    apps::remove_duplicates<cuckoo_table<Traits>>(input, 2 * cap);
+  });
+  const double ch = time_median([] {}, [&] {
+    apps::remove_duplicates<chained_table<Traits, true>>(input, cap);
+  });
+  print_row_vs("linearHash-D", d, paper[0]);
+  print_row_vs("linearHash-ND", nd, paper[1]);
+  print_row_vs("cuckooHash", ck, paper[2]);
+  print_row_vs("chainedHash-CR", ch, paper[3]);
+  print_ratio("linearHash-D / linearHash-ND", d / nd, paper[0] / paper[1]);
+  print_ratio("cuckooHash / linearHash-D", ck / d, paper[2] / paper[0]);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled_size(1000000);
+  std::printf("Table 3: remove duplicates (paper: n = 1e8, 40h)\n");
+  {
+    const double paper[4] = {0.212, 0.212, 0.417, 1.32};
+    panel<int_entry<>>("randomSeq-int", workloads::random_int_seq(n, 1), paper);
+  }
+  {
+    const double paper[4] = {0.242, 0.213, 0.300, 0.586};
+    const auto in = workloads::trigram_pair_seq(n, 1);
+    panel<string_pair_entry>("trigramSeq-pairInt", in.entries, paper);
+  }
+  {
+    const double paper[4] = {0.139, 0.116, 0.185, 0.541};
+    panel<int_entry<>>("exptSeq-int", workloads::expt_int_seq(n, 1), paper);
+  }
+  return 0;
+}

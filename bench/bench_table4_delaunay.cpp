@@ -1,0 +1,63 @@
+// Table 4: the hash-table portion of Delaunay refinement (ELEMENTS() +
+// inserts of newly created bad triangles) on 2D-cube and 2D-kuzmin inputs.
+//
+// Shape (paper, 40h): linearHash-D ~3-6% slower than linearHash-ND; both
+// ~40% faster than cuckooHash and 2-3x faster than chainedHash-CR.
+#include "bench_common.h"
+#include "phch/apps/delaunay_refine.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/geometry/point_generators.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+template <typename Table>
+double hash_portion(const geometry::mesh& base, double alpha, std::size_t max_pts) {
+  geometry::mesh m = base;  // refine a copy
+  timer clk;
+  const auto stats = apps::refine<Table>(m, alpha, max_pts, [&] { return clk.elapsed(); });
+  return stats.hash_seconds;
+}
+
+void panel(const char* name, const std::vector<geometry::point2d>& pts,
+           const double paper[4]) {
+  print_header(name, pts.size());
+  const auto base = geometry::mesh::delaunay(pts);
+  const double alpha = 25.0;
+  const std::size_t budget = 2 * pts.size();
+  const double d =
+      hash_portion<deterministic_table<int_entry<std::uint64_t>>>(base, alpha, budget);
+  const double nd =
+      hash_portion<nd_linear_table<int_entry<std::uint64_t>>>(base, alpha, budget);
+  const double ck =
+      hash_portion<cuckoo_table<int_entry<std::uint64_t>>>(base, alpha, budget);
+  const double ch = hash_portion<chained_table<int_entry<std::uint64_t>, true>>(
+      base, alpha, budget);
+  print_row_vs("linearHash-D", d, paper[0]);
+  print_row_vs("linearHash-ND", nd, paper[1]);
+  print_row_vs("cuckooHash", ck, paper[2]);
+  print_row_vs("chainedHash-CR", ch, paper[3]);
+  print_ratio("linearHash-D / linearHash-ND", d / nd, paper[0] / paper[1]);
+  print_ratio("chainedHash-CR / linearHash-D", ch / d, paper[3] / paper[0]);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled_size(60000);
+  std::printf("Table 4: Delaunay refinement hash portion (paper: 5e6 points, 40h)\n");
+  {
+    const double paper[4] = {0.033, 0.031, 0.051, 0.079};
+    panel("2DinCube", geometry::cube2d_points(n, 1), paper);
+  }
+  {
+    const double paper[4] = {0.033, 0.032, 0.054, 0.099};
+    panel("2Dkuzmin", geometry::kuzmin_points(n, 1), paper);
+  }
+  return 0;
+}

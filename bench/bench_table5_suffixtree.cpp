@@ -1,0 +1,104 @@
+// Table 5(a,b): suffix tree node insertion and pattern search with four
+// table backends, on two English-like texts and one protein-like text
+// (stand-ins for etext99 / rctail96 / sprot34.dat; see DESIGN.md §3).
+//
+// Shape (paper, 40h): linearHash-D within ~5% of linearHash-ND on inserts;
+// cuckooHash ~1.6x slower; chainedHash-CR ~2x slower on inserts and ~30%
+// slower on searches.
+#include <optional>
+
+#include "bench_common.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/strings/suffix_tree.h"
+#include "phch/utils/rand.h"
+#include "phch/workloads/trigram.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+std::vector<std::string> make_queries(const std::string& text, std::size_t q) {
+  const rng r(7);
+  std::vector<std::string> out(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    const std::size_t len = 1 + r.ith_rand(2 * i, 50);
+    if (i % 2 == 0) {
+      out[i] = text.substr(r.ith_rand(2 * i + 1, text.size() - len), len);
+    } else {
+      out[i].resize(len);
+      for (std::size_t c = 0; c < len; ++c)
+        out[i][c] = static_cast<char>('a' + r.ith_rand(i * 64 + c, 26));
+    }
+  }
+  return out;
+}
+
+template <typename Table>
+std::pair<double, double> run_backend(const strings::suffix_tree_skeleton& skel,
+                                      const std::vector<std::string>& queries) {
+  std::optional<strings::suffix_tree<Table>> st;
+  const double t_ins = time_median(
+      [&] { st.emplace(skel); },  // copies the skeleton; table starts empty
+      [&] { st->populate(); });
+  std::vector<std::uint8_t> sink(queries.size());
+  const double t_search = time_median([] {}, [&] {
+    parallel_for(0, queries.size(),
+                 [&](std::size_t i) { sink[i] = st->search(queries[i]); });
+  });
+  return {t_ins, t_search};
+}
+
+void panel(const char* name, const std::string& text, const double paper_ins[4],
+           const double paper_search[4]) {
+  const std::size_t q = std::min<std::size_t>(scaled_size(100000), text.size());
+  print_header(name, text.size());
+  const auto skel = strings::suffix_tree_skeleton::build(text);
+  std::printf("  (%zu tree nodes; %zu queries)\n", skel.nodes.size(), q);
+  const auto queries = make_queries(text, q);
+  using cmin = pair_entry<combine_min>;
+  const auto d = run_backend<deterministic_table<cmin>>(skel, queries);
+  const auto nd = run_backend<nd_linear_table<cmin>>(skel, queries);
+  const auto ck = run_backend<cuckoo_table<cmin>>(skel, queries);
+  const auto ch = run_backend<chained_table<cmin, true>>(skel, queries);
+  std::printf("  insert:\n");
+  print_row_vs("linearHash-D", d.first, paper_ins[0]);
+  print_row_vs("linearHash-ND", nd.first, paper_ins[1]);
+  print_row_vs("cuckooHash", ck.first, paper_ins[2]);
+  print_row_vs("chainedHash-CR", ch.first, paper_ins[3]);
+  std::printf("  search:\n");
+  print_row_vs("linearHash-D", d.second, paper_search[0]);
+  print_row_vs("linearHash-ND", nd.second, paper_search[1]);
+  print_row_vs("cuckooHash", ck.second, paper_search[2]);
+  print_row_vs("chainedHash-CR", ch.second, paper_search[3]);
+  print_ratio("insert: D / ND", d.first / nd.first, paper_ins[0] / paper_ins[1]);
+  print_ratio("search: chained / D", ch.second / d.second,
+              paper_search[3] / paper_search[0]);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = scaled_size(2000000);
+  std::printf("Table 5: suffix tree insert & search (paper: ~110 MB texts, 1e6 "
+              "queries, 40h)\n");
+  {
+    const double pi[4] = {0.120, 0.114, 0.184, 0.256};
+    const double ps[4] = {0.023, 0.023, 0.026, 0.030};
+    panel("etext99-like (English trigram)", workloads::trigram_text(n, 1), pi, ps);
+  }
+  {
+    const double pi[4] = {0.117, 0.112, 0.177, 0.238};
+    const double ps[4] = {0.015, 0.015, 0.017, 0.020};
+    panel("rctail96-like (English trigram)", workloads::trigram_text(n, 2), pi, ps);
+  }
+  {
+    const double pi[4] = {0.115, 0.109, 0.172, 0.235};
+    const double ps[4] = {0.017, 0.017, 0.019, 0.023};
+    panel("sprot34-like (protein)", workloads::protein_text(n, 3), pi, ps);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 6: one round of edge contraction (relabeled-edge insertion with
+// additive weight combining + ELEMENTS()) on 3D-grid, random, rMat graphs.
+//
+// Shape (paper, 40h): linearHash-D ~13-16% slower than linearHash-ND (the
+// D table must double-word-CAS whole pairs where ND can xadd the weight in
+// place); cuckoo ~1.7-2x and chained-CR ~3.5x slower than D.
+#include "bench_common.h"
+#include "phch/apps/edge_contraction.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/graph/generators.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+void panel(const char* name, std::size_t n, const std::vector<graph::edge>& edges,
+           const double paper[4]) {
+  print_header(name, edges.size());
+  const auto wedges = graph::with_random_weights(edges, 1000, 3);
+  const auto labels = apps::matching_labels(n, edges);  // untimed, as in the paper
+  // Paper: table size 4/3 * #edges rounded to a power of two.
+  const std::size_t cap = round_up_pow2(edges.size() + edges.size() / 3);
+  using add = pair_entry<combine_add>;
+  const double d = time_median([] {}, [&] {
+    apps::contract_edges<deterministic_table<add>>(wedges, labels, cap);
+  });
+  const double nd = time_median([] {}, [&] {
+    apps::contract_edges<nd_linear_table<add>>(wedges, labels, cap);
+  });
+  const double ck = time_median([] {}, [&] {
+    apps::contract_edges<cuckoo_table<add>>(wedges, labels, 2 * cap);
+  });
+  const double ch = time_median([] {}, [&] {
+    apps::contract_edges<chained_table<add, true>>(wedges, labels, cap);
+  });
+  print_row_vs("linearHash-D", d, paper[0]);
+  print_row_vs("linearHash-ND", nd, paper[1]);
+  print_row_vs("cuckooHash", ck, paper[2]);
+  print_row_vs("chainedHash-CR", ch, paper[3]);
+  print_ratio("linearHash-D / linearHash-ND", d / nd, paper[0] / paper[1]);
+  print_ratio("chainedHash-CR / linearHash-D", ch / d, paper[3] / paper[0]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 6: edge contraction round (paper: 1e7-vertex graphs, 40h)\n");
+  {
+    std::size_t d = 1;
+    while ((d + 1) * (d + 1) * (d + 1) <= scaled_size(150000)) ++d;
+    const double paper[4] = {0.154, 0.136, 0.269, 0.550};
+    panel("3D-grid", d * d * d, graph::grid3d_edges(d), paper);
+  }
+  {
+    const std::size_t n = scaled_size(150000);
+    const double paper[4] = {0.265, 0.229, 0.447, 0.907};
+    panel("random", n, graph::random_k_edges(n, 5, 1), paper);
+  }
+  {
+    std::size_t lg = 1;
+    while ((std::size_t{1} << (lg + 1)) <= scaled_size(1 << 18)) ++lg;
+    const double paper[4] = {0.272, 0.235, 0.455, 0.917};
+    panel("rMat", std::size_t{1} << lg,
+          graph::rmat_edges(lg, scaled_size(750000), 1), paper);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 7: breadth-first search — serial, array-based, and hash-table-based
+// (four backends) on 3D-grid, random, rMat graphs.
+//
+// Shape (paper, 40h): hash-based BFS with linearHash-D is 16-35% slower
+// than the array-based version; linearHash-ND ≈ linearHash-D; cuckoo and
+// chained clearly slower.
+#include "bench_common.h"
+#include "phch/apps/bfs.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/graph/generators.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+using t32 = int_entry<std::uint32_t>;
+
+void panel(const char* name, const graph::csr_graph& g, const double paper[6]) {
+  print_header(name, g.num_edges());
+  const double ts = time_median([] {}, [&] { apps::serial_bfs(g, 0); });
+  const double ta = time_median([] {}, [&] { apps::array_bfs(g, 0); });
+  const double td = time_median([] {}, [&] {
+    apps::hash_bfs<deterministic_table<t32>>(g, 0);
+  });
+  const double tn = time_median([] {}, [&] { apps::hash_bfs<nd_linear_table<t32>>(g, 0); });
+  const double tc = time_median([] {}, [&] {
+    apps::hash_bfs<cuckoo_table<t32>>(g, 0, 2.0);
+  });
+  const double th = time_median([] {}, [&] {
+    apps::hash_bfs<chained_table<t32, true>>(g, 0);
+  });
+  print_row_vs("serial", ts, paper[0]);
+  print_row_vs("array", ta, paper[1]);
+  print_row_vs("linearHash-D", td, paper[2]);
+  print_row_vs("linearHash-ND", tn, paper[3]);
+  print_row_vs("cuckooHash", tc, paper[4]);
+  print_row_vs("chainedHash-CR", th, paper[5]);
+  print_ratio("linearHash-D / array", td / ta, paper[2] / paper[1]);
+  print_ratio("cuckooHash / linearHash-D", tc / td, paper[4] / paper[2]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 7: breadth-first search (paper: 1e7-vertex graphs, 40h)\n");
+  {
+    std::size_t d = 1;
+    while ((d + 1) * (d + 1) * (d + 1) <= scaled_size(250000)) ++d;
+    // paper: serial, array, linearHash-D, linearHash-ND, cuckoo, chained-CR
+    const double paper[6] = {0, 0.271, 0.367, 0.362, 0.454, 1.14};
+    panel("3D-grid", graph::csr_graph::from_edges(d * d * d, graph::grid3d_edges(d)),
+          paper);
+  }
+  {
+    const std::size_t n = scaled_size(250000);
+    const double paper[6] = {0, 0.169, 0.211, 0.204, 0.292, 0.343};
+    panel("random", graph::csr_graph::from_edges(n, graph::random_k_edges(n, 5, 1)),
+          paper);
+  }
+  {
+    std::size_t lg = 1;
+    while ((std::size_t{1} << (lg + 1)) <= scaled_size(1 << 18)) ++lg;
+    const double paper[6] = {0, 0.225, 0.262, 0.256, 0.373, 0.439};
+    panel("rMat", graph::csr_graph::from_edges(std::size_t{1} << lg,
+                                               graph::rmat_edges(lg, scaled_size(1250000), 1)),
+          paper);
+  }
+  return 0;
+}

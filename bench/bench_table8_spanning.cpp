@@ -1,0 +1,71 @@
+// Table 8: spanning forest — serial, array-based reservations, and
+// hash-table reservations (four backends) on 3D-grid, random, rMat graphs.
+//
+// Shape (paper, 40h): hash-based with linearHash-D is 14-26% slower than
+// array-based; D ≈ ND; cuckoo and chained slower still.
+#include "bench_common.h"
+#include "phch/apps/spanning_forest.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/graph/generators.h"
+
+using namespace phch;
+using namespace phch::bench;
+
+namespace {
+
+using res_traits = packed_pair_entry<combine_min>;
+
+void panel(const char* name, std::size_t n, const std::vector<graph::edge>& edges,
+           const double paper[6]) {
+  print_header(name, edges.size());
+  const double ts = time_median([] {}, [&] { apps::serial_spanning_forest(n, edges); });
+  const double ta = time_median([] {}, [&] { apps::array_spanning_forest(n, edges); });
+  const double td = time_median([] {}, [&] {
+    apps::hash_spanning_forest<deterministic_table<res_traits>>(n, edges);
+  });
+  const double tn = time_median([] {}, [&] {
+    apps::hash_spanning_forest<nd_linear_table<res_traits>>(n, edges);
+  });
+  const double tc = time_median([] {}, [&] {
+    apps::hash_spanning_forest<cuckoo_table<res_traits>>(n, edges);
+  });
+  const double th = time_median([] {}, [&] {
+    apps::hash_spanning_forest<chained_table<res_traits, true>>(n, edges);
+  });
+  print_row_vs("serial", ts, paper[0]);
+  print_row_vs("array", ta, paper[1]);
+  print_row_vs("linearHash-D", td, paper[2]);
+  print_row_vs("linearHash-ND", tn, paper[3]);
+  print_row_vs("cuckooHash", tc, paper[4]);
+  print_row_vs("chainedHash-CR", th, paper[5]);
+  print_ratio("linearHash-D / array", td / ta, paper[2] / paper[1]);
+  print_ratio("chainedHash-CR / linearHash-D", th / td, paper[5] / paper[2]);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 8: spanning forest (paper: 1e7-vertex graphs, 40h)\n");
+  {
+    std::size_t d = 1;
+    while ((d + 1) * (d + 1) * (d + 1) <= scaled_size(250000)) ++d;
+    const double paper[6] = {0, 0.186, 0.212, 0.215, 0.251, 0.408};
+    panel("3D-grid", d * d * d, graph::grid3d_edges(d), paper);
+  }
+  {
+    const std::size_t n = scaled_size(250000);
+    const double paper[6] = {0, 0.226, 0.286, 0.282, 0.341, 0.544};
+    panel("random", n, graph::random_k_edges(n, 5, 1), paper);
+  }
+  {
+    std::size_t lg = 1;
+    while ((std::size_t{1} << (lg + 1)) <= scaled_size(1 << 18)) ++lg;
+    const double paper[6] = {0, 0.289, 0.346, 0.344, 0.387, 0.662};
+    panel("rMat", std::size_t{1} << lg, graph::rmat_edges(lg, scaled_size(1250000), 1),
+          paper);
+  }
+  return 0;
+}

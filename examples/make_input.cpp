@@ -1,0 +1,66 @@
+// Input generator tool: writes the paper's workloads in PBBS-compatible
+// file formats, so the same data can be fed to this library's tools or to
+// original PBBS binaries.
+//
+//   ./make_input -kind <kind> -n <n> -seed <s> -o <path>
+//
+// kinds: random-int, expt-int, pair-int, grid3d (n = side), random-graph,
+//        rmat (n = lg vertices, -m edges), cube-points, kuzmin-points,
+//        english-text, protein-text
+#include <cstdio>
+#include <string>
+
+#include "phch/geometry/point_generators.h"
+#include "phch/graph/generators.h"
+#include "phch/io/pbbs_io.h"
+#include "phch/utils/cmdline.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+
+using namespace phch;
+
+int main(int argc, char** argv) {
+  const cmdline cl(argc, argv);
+  const std::string kind = cl.get_string("-kind", "random-int");
+  const auto n = static_cast<std::size_t>(cl.get_long("-n", 1000000));
+  const auto seed = static_cast<std::uint64_t>(cl.get_long("-seed", 1));
+  const std::string out = cl.get_string("-o", "input.dat");
+
+  if (kind == "random-int") {
+    io::write_int_seq(out, workloads::random_int_seq(n, seed));
+  } else if (kind == "expt-int") {
+    io::write_int_seq(out, workloads::expt_int_seq(n, seed));
+  } else if (kind == "pair-int") {
+    io::write_pair_seq(out, workloads::random_pair_seq(n, seed));
+  } else if (kind == "grid3d") {
+    io::write_edges(out, graph::grid3d_edges(n));
+  } else if (kind == "random-graph") {
+    const auto k = static_cast<std::size_t>(cl.get_long("-k", 5));
+    io::write_edges(out, graph::random_k_edges(n, k, seed));
+  } else if (kind == "rmat") {
+    const auto m = static_cast<std::size_t>(cl.get_long("-m", 5 * (1ULL << n)));
+    io::write_edges(out, graph::rmat_edges(n, m, seed));
+  } else if (kind == "weighted-rmat") {
+    const auto m = static_cast<std::size_t>(cl.get_long("-m", 5 * (1ULL << n)));
+    io::write_weighted_edges(
+        out, graph::with_random_weights(graph::rmat_edges(n, m, seed), 1 << 20, seed));
+  } else if (kind == "cube-points") {
+    io::write_points(out, geometry::cube2d_points(n, seed));
+  } else if (kind == "kuzmin-points") {
+    io::write_points(out, geometry::kuzmin_points(n, seed));
+  } else if (kind == "english-text") {
+    io::write_text(out, workloads::trigram_text(n, seed));
+  } else if (kind == "protein-text") {
+    io::write_text(out, workloads::protein_text(n, seed));
+  } else {
+    std::fprintf(stderr,
+                 "unknown -kind '%s'\nkinds: random-int expt-int pair-int grid3d "
+                 "random-graph rmat weighted-rmat cube-points kuzmin-points "
+                 "english-text protein-text\n",
+                 kind.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s, n=%zu, seed=%llu)\n", out.c_str(), kind.c_str(), n,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

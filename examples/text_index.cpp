@@ -1,0 +1,59 @@
+// Suffix-tree text index (§5): build the tree (child maps in the
+// deterministic hash table), then answer substring queries.
+//
+//   ./text_index [text_chars] [num_queries] [english|protein]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "phch/core/deterministic_table.h"
+#include "phch/strings/suffix_tree.h"
+#include "phch/utils/rand.h"
+#include "phch/utils/timer.h"
+#include "phch/workloads/trigram.h"
+
+using namespace phch;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000000;
+  const std::size_t q = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+  const char* kind = argc > 3 ? argv[3] : "english";
+
+  const std::string text = std::strcmp(kind, "protein") == 0
+                               ? workloads::protein_text(n, 1)
+                               : workloads::trigram_text(n, 1);
+  std::printf("text_index: %zu chars of %s text, %d threads\n", n, kind, num_workers());
+
+  timer t;
+  auto skel = strings::suffix_tree_skeleton::build(text);
+  std::printf("  skeleton (SA + LCP + tree): %.2fs, %zu nodes\n", t.elapsed(),
+              skel.nodes.size());
+
+  t.reset();
+  strings::suffix_tree<deterministic_table<pair_entry<combine_min>>> st(std::move(skel));
+  st.populate();
+  std::printf("  edge inserts into table:    %.2fs (%zu edges)\n", t.elapsed(),
+              st.skeleton().num_edges());
+
+  // Queries: half true substrings, half random strings (mostly absent),
+  // lengths uniform in [1, 50] — the paper's Table 5(b) setup.
+  const rng r(7);
+  std::atomic<std::size_t> hits{0};
+  t.reset();
+  parallel_for(0, q, [&](std::size_t i) {
+    const std::size_t len = 1 + r.ith_rand(2 * i, 50);
+    std::string pat;
+    if (i % 2 == 0) {
+      const std::size_t pos = r.ith_rand(2 * i + 1, text.size() - len);
+      pat = text.substr(pos, len);
+    } else {
+      pat.resize(len);
+      for (std::size_t c = 0; c < len; ++c)
+        pat[c] = static_cast<char>('a' + r.ith_rand(i * 64 + c, 26));
+    }
+    if (st.search(pat)) hits.fetch_add(1);
+  });
+  std::printf("  %zu searches:               %.2fs, %zu matched\n", q, t.elapsed(),
+              hits.load());
+  return 0;
+}

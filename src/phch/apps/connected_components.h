@@ -1,0 +1,105 @@
+// Connected components by repeated edge contraction — the §5 use case the
+// paper cites from Shun, Dhulipala & Blelloch (SPAA'14 [31]), where the
+// deterministic hash table removes duplicate edges on contraction.
+//
+// Each round:
+//   1. compute a maximal matching on the remaining edges (deterministic
+//      reservations) and merge matched pairs into supervertices;
+//   2. relabel every edge through union-find roots and insert the distinct
+//      relabeled edges into a phase-concurrent hash table (keyed by the
+//      canonical endpoint pair);
+//   3. ELEMENTS() yields the contracted edge list for the next round.
+// Rounds repeat until no edges remain; union-find roots then name the
+// components. With a deterministic table the per-round edge orders — and
+// thus the whole execution — are identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phch/apps/edge_contraction.h"
+#include "phch/core/table_common.h"
+#include "phch/graph/graph.h"
+#include "phch/graph/union_find.h"
+#include "phch/parallel/primitives.h"
+
+namespace phch::apps {
+
+struct cc_stats {
+  std::size_t rounds = 0;
+  std::size_t num_components = 0;
+};
+
+// Returns the component label (root id) of every vertex; stats optionally.
+template <typename Table>
+std::vector<std::uint32_t> connected_components(std::size_t n,
+                                                const std::vector<graph::edge>& edges,
+                                                cc_stats* stats = nullptr) {
+  graph::union_find uf(n);
+  std::vector<graph::edge> work = filter(edges, [](const graph::edge& e) {
+    return e.u != e.v;
+  });
+
+  std::size_t rounds = 0;
+  while (!work.empty()) {
+    ++rounds;
+    // 1. maximal matching on the current (super)graph; merge pairs.
+    const auto labels = matching_labels(n, work);
+    parallel_for(0, n, [&](std::size_t v) {
+      // labels[v] = min(v, partner): link the larger id under the smaller.
+      if (labels[v] != static_cast<graph::vertex_id>(v)) {
+        uf.link(static_cast<std::uint32_t>(v), labels[v]);
+      }
+    });
+    // 2. relabel through roots and deduplicate via the hash table.
+    std::vector<std::uint32_t> ru(work.size());
+    std::vector<std::uint32_t> rv(work.size());
+    parallel_for(0, work.size(), [&](std::size_t i) {
+      ru[i] = uf.find(work[i].u);
+      rv[i] = uf.find(work[i].v);
+    });
+    Table table(round_up_pow2(2 * work.size() + 16));
+    parallel_for(0, work.size(), [&](std::size_t i) {
+      if (ru[i] != rv[i]) {
+        table.insert(kv64{edge_key(ru[i], rv[i]), 1});
+      }
+    });
+    // 3. the contracted edge list, deterministically ordered.
+    const auto packed = table.elements();
+    work = tabulate(packed.size(), [&](std::size_t i) {
+      return graph::edge{static_cast<graph::vertex_id>(packed[i].k >> 32),
+                         static_cast<graph::vertex_id>(packed[i].k)};
+    });
+    // Progress guarantee: matching_labels always matches at least one edge
+    // of any nonempty graph, so supervertex count strictly decreases.
+  }
+
+  std::vector<std::uint32_t> comp(n);
+  parallel_for(0, n, [&](std::size_t v) {
+    comp[v] = uf.find(static_cast<std::uint32_t>(v));
+  });
+  if (stats) {
+    stats->rounds = rounds;
+    std::vector<std::uint8_t> is_root(n);
+    parallel_for(0, n, [&](std::size_t v) { is_root[v] = comp[v] == v; });
+    stats->num_components = reduce(std::size_t{0}, n, std::size_t{0}, std::plus<>{},
+                                   [&](std::size_t v) { return std::size_t{is_root[v]}; });
+  }
+  return comp;
+}
+
+// Sequential reference.
+inline std::vector<std::uint32_t> serial_connected_components(
+    std::size_t n, const std::vector<graph::edge>& edges) {
+  graph::union_find uf(n);
+  for (const auto& e : edges) {
+    const auto a = uf.find(e.u);
+    const auto b = uf.find(e.v);
+    if (a != b) uf.link(std::max(a, b), std::min(a, b));
+  }
+  std::vector<std::uint32_t> comp(n);
+  for (std::size_t v = 0; v < n; ++v) comp[v] = uf.find(static_cast<std::uint32_t>(v));
+  return comp;
+}
+
+}  // namespace phch::apps

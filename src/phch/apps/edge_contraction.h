@@ -1,0 +1,103 @@
+// Edge contraction (§5): relabel edge endpoints through a label array R and
+// return the unique relabeled edges, combining the data on duplicate edges
+// with a commutative function (+ here, as in a graph-partitioning
+// coarsening step; the paper's Table 6 setup).
+//
+// The timed kernel inserts each relabeled edge (when its endpoints differ)
+// into a hash table keyed by the endpoint pair, with the weight as value and
+// combine = +, then calls ELEMENTS(). With linearHash-D the key-value pair
+// moves during insertion, so combining needs a full-entry double-word CAS;
+// with linearHash-ND entries never move and the weight is merged with a
+// hardware xadd — exactly the difference the paper measures.
+//
+// The label array comes from a maximal matching computed by deterministic
+// reservations (each edge WRITEMINs its priority into both endpoints; an
+// edge that wins both is matched), the standard coarsening step.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/graph/graph.h"
+#include "phch/parallel/atomics.h"
+#include "phch/parallel/primitives.h"
+#include "phch/parallel/speculative_for.h"
+
+namespace phch::apps {
+
+// Maximal matching by deterministic reservations (speculative_for with the
+// PPoPP'12 reserve/commit protocol); returns R with R[v] = min(v,
+// partner(v)) (unmatched vertices map to themselves).
+namespace detail {
+struct matching_step {
+  const std::vector<graph::edge>& edges;
+  std::vector<reservation>& cells;
+  std::vector<std::uint8_t>& matched;
+  std::vector<graph::vertex_id>& partner;
+
+  bool reserve(std::size_t i) {
+    const auto& e = edges[i];
+    if (e.u == e.v || matched[e.u] || matched[e.v]) return false;  // drop
+    cells[e.u].reserve(i);
+    cells[e.v].reserve(i);
+    return true;
+  }
+
+  bool commit(std::size_t i) {
+    const auto& e = edges[i];
+    // Release every cell this iterate still holds; match on a double win.
+    if (cells[e.v].check(i)) {
+      cells[e.v].reset();
+      if (cells[e.u].check_reset(i)) {
+        matched[e.u] = 1;
+        matched[e.v] = 1;
+        partner[e.u] = e.v;
+        partner[e.v] = e.u;
+        return true;
+      }
+    } else {
+      cells[e.u].check_reset(i);
+    }
+    return false;
+  }
+};
+}  // namespace detail
+
+inline std::vector<graph::vertex_id> matching_labels(std::size_t n,
+                                                     const std::vector<graph::edge>& edges) {
+  std::vector<reservation> cells(n);
+  std::vector<std::uint8_t> matched(n, 0);
+  std::vector<graph::vertex_id> partner = tabulate(
+      n, [](std::size_t v) { return static_cast<graph::vertex_id>(v); });
+  detail::matching_step step{edges, cells, matched, partner};
+  speculative_for(step, 0, edges.size());
+  return tabulate(n, [&](std::size_t v) {
+    return std::min(static_cast<graph::vertex_id>(v), partner[v]);
+  });
+}
+
+// Canonical 64-bit key for an undirected relabeled edge.
+inline std::uint64_t edge_key(graph::vertex_id a, graph::vertex_id b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// The timed kernel: insert relabeled edges with additive weight combining,
+// return the unique contracted edge list via ELEMENTS(). Table must store
+// kv64 entries with combine = + (pair_entry<combine_add> traits).
+template <typename Table>
+std::vector<kv64> contract_edges(const std::vector<graph::weighted_edge>& edges,
+                                 const std::vector<graph::vertex_id>& labels,
+                                 std::size_t table_capacity) {
+  Table table(table_capacity);
+  parallel_for(0, edges.size(), [&](std::size_t i) {
+    const graph::vertex_id nu = labels[edges[i].u];
+    const graph::vertex_id nv = labels[edges[i].v];
+    if (nu != nv) table.insert(kv64{edge_key(nu, nv), edges[i].w});
+  });
+  return table.elements();
+}
+
+}  // namespace phch::apps

@@ -1,0 +1,22 @@
+// Remove duplicates (§5): insert every element of the input into a table in
+// parallel, then return ELEMENTS(). With a deterministic table, the output
+// *order* is the same on every run — the property that distinguishes this
+// from merely returning the right set.
+#pragma once
+
+#include <vector>
+
+#include "phch/parallel/parallel_for.h"
+
+namespace phch::apps {
+
+// Table is any of the phch tables; its traits' value_type must match In.
+template <typename Table, typename In>
+std::vector<typename Table::value_type> remove_duplicates(const std::vector<In>& input,
+                                                          std::size_t table_capacity) {
+  Table table(table_capacity);
+  parallel_for(0, input.size(), [&](std::size_t i) { table.insert(input[i]); });
+  return table.elements();
+}
+
+}  // namespace phch::apps

@@ -1,0 +1,161 @@
+// Spanning forest (§5) by deterministic reservations [Blelloch et al.,
+// PPoPP'12]: edges carry their input index as priority; each round, every
+// undecided edge finds its endpoints' components and reserves *both* roots
+// with WRITEMIN of its priority. An edge commits if it holds the
+// reservation on at least one of its roots, linking that root under the
+// other. Each root is linked by at most one edge (its unique winner), and a
+// cycle of same-round links would require a descending cycle of priorities,
+// so the forest stays acyclic. Losers retry next round; edges whose
+// endpoints share a component are dropped.
+//
+// Three variants, as compared in Table 8:
+//   serial_spanning_forest   sequential union-find sweep
+//   array_spanning_forest    reservations in a direct-addressed array R[v]
+//   hash_spanning_forest     reservations in a phase-concurrent hash table
+//                            keyed by root id (value = edge priority,
+//                            combine = min) — avoids vertex relabeling when
+//                            ids are sparse; deterministic when the table is
+//
+// The two parallel variants produce identical forests on every run and
+// thread count (when the hash table is deterministic); the serial greedy
+// forest can differ in which cycle edges it rejects but spans the same
+// components.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "phch/graph/graph.h"
+#include "phch/graph/union_find.h"
+#include "phch/parallel/atomics.h"
+#include "phch/parallel/primitives.h"
+#include "phch/parallel/sort.h"
+
+namespace phch::apps {
+
+inline std::vector<std::size_t> serial_spanning_forest(std::size_t n,
+                                                       const std::vector<graph::edge>& edges) {
+  graph::union_find uf(n);
+  std::vector<std::size_t> forest;
+  forest.reserve(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::uint32_t ru = uf.find(edges[i].u);
+    const std::uint32_t rv = uf.find(edges[i].v);
+    if (ru != rv) {
+      uf.link(std::max(ru, rv), std::min(ru, rv));
+      forest.push_back(i);
+    }
+  }
+  return forest;
+}
+
+namespace detail {
+// One reservation/commit round over the undecided edges (indices `live`).
+// reserve(root, p) WRITEMINs priority p into the root's cell; winner(root,
+// p) tests it; unreserve(root) clears it (no-op for per-round tables).
+// Appends committed edge indices to `forest` and compacts `live`.
+template <typename Reserve, typename Winner, typename Unreserve>
+void sf_round(graph::union_find& uf, std::vector<std::size_t>& live,
+              const std::vector<graph::edge>& edges, std::vector<std::size_t>& forest,
+              Reserve&& reserve, Winner&& winner, Unreserve&& unreserve) {
+  const std::size_t m = live.size();
+  std::vector<std::uint32_t> ru(m);
+  std::vector<std::uint32_t> rv(m);
+  // Find phase (concurrent finds with path compression).
+  parallel_for(0, m, [&](std::size_t i) {
+    ru[i] = uf.find(edges[live[i]].u);
+    rv[i] = uf.find(edges[live[i]].v);
+  });
+  // Reserve phase: WRITEMIN the edge's priority into both roots.
+  parallel_for(0, m, [&](std::size_t i) {
+    if (ru[i] != rv[i]) {
+      reserve(ru[i], live[i]);
+      reserve(rv[i], live[i]);
+    }
+  });
+  // Commit phase: link a root this edge won under the other endpoint's
+  // root. Exactly one winner per root; a same-round cycle would need a
+  // strictly decreasing priority cycle, which cannot exist.
+  std::vector<std::uint8_t> joined(m, 0);
+  parallel_for(0, m, [&](std::size_t i) {
+    if (ru[i] == rv[i]) return;
+    if (winner(ru[i], live[i])) {
+      uf.link(ru[i], rv[i]);
+      joined[i] = 1;
+    } else if (winner(rv[i], live[i])) {
+      uf.link(rv[i], ru[i]);
+      joined[i] = 1;
+    }
+  });
+  // Clear this round's reservations using the cached roots (fresh finds
+  // would chase pointers updated by the links above and miss cells).
+  parallel_for(0, m, [&](std::size_t i) {
+    if (ru[i] != rv[i]) {
+      unreserve(ru[i]);
+      unreserve(rv[i]);
+    }
+  });
+  auto added = pack(
+      m, [&](std::size_t i) { return joined[i] == 1; },
+      [&](std::size_t i) { return live[i]; });
+  forest.insert(forest.end(), added.begin(), added.end());
+  live = pack(
+      m, [&](std::size_t i) { return joined[i] == 0 && ru[i] != rv[i]; },
+      [&](std::size_t i) { return live[i]; });
+}
+}  // namespace detail
+
+// Array-based variant: reservations live in R[0..n), reset after each round.
+inline std::vector<std::size_t> array_spanning_forest(std::size_t n,
+                                                      const std::vector<graph::edge>& edges) {
+  constexpr std::size_t kFree = std::numeric_limits<std::size_t>::max();
+  graph::union_find uf(n);
+  std::vector<std::size_t> reservations(n, kFree);
+  std::vector<std::size_t> live = iota(edges.size());
+  std::vector<std::size_t> forest;
+  while (!live.empty()) {
+    detail::sf_round(
+        uf, live, edges, forest,
+        [&](std::uint32_t root, std::size_t p) { write_min(&reservations[root], p); },
+        [&](std::uint32_t root, std::size_t p) { return reservations[root] == p; },
+        [&](std::uint32_t root) { reservations[root] = kFree; });
+  }
+  parallel_sort(forest);
+  return forest;
+}
+
+// Hash-table variant: a fresh phase-concurrent table per round maps root id
+// -> min edge priority. Table must use packed_pair_entry<combine_min>-style
+// traits (32-bit key, 32-bit value, min-combining).
+template <typename Table>
+std::vector<std::size_t> hash_spanning_forest(std::size_t n,
+                                              const std::vector<graph::edge>& edges,
+                                              double space_mult = 2.0) {
+  using traits = typename Table::traits;
+  graph::union_find uf(n);
+  std::vector<std::size_t> live = iota(edges.size());
+  std::vector<std::size_t> forest;
+  while (!live.empty()) {
+    // Reservations are keyed by component roots: at most min(n, 2 * live)
+    // distinct keys, so cap the table accordingly (paper: twice the number
+    // of vertices).
+    const std::size_t max_roots = std::min<std::size_t>(n, 2 * live.size());
+    Table table(static_cast<std::size_t>(space_mult * (max_roots + 2)));
+    detail::sf_round(
+        uf, live, edges, forest,
+        [&](std::uint32_t root, std::size_t p) {
+          table.insert(traits::make(root, static_cast<std::uint32_t>(p)));
+        },
+        [&](std::uint32_t root, std::size_t p) {
+          const auto stored = table.find(root);
+          return !traits::is_empty(stored) &&
+                 traits::value_of(stored) == static_cast<std::uint32_t>(p);
+        },
+        [](std::uint32_t) {});  // fresh table each round; nothing to clear
+  }
+  parallel_sort(forest);
+  return forest;
+}
+
+}  // namespace phch::apps

@@ -1,0 +1,73 @@
+// Batched table operations with software prefetching.
+//
+// Phase-concurrent workloads naturally arrive as batches (insert this whole
+// sequence, look up all of these keys), which admits a classic memory-level
+// parallelism trick single operations cannot use: hash the key `kAhead`
+// positions down the batch and prefetch its home cache line while probing
+// the current key, hiding most of the per-operation cache miss the paper
+// identifies as the dominant cost. Works with any linear-probing table
+// exposing `home_address(key)` (deterministic_table, nd_linear_table).
+//
+// All three batch helpers preserve the phase contract of the underlying
+// operations: a batch is one phase.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "phch/parallel/parallel_for.h"
+
+namespace phch {
+
+inline constexpr std::size_t kPrefetchAhead = 8;
+
+namespace detail {
+inline void prefetch_ro(const void* p) noexcept { __builtin_prefetch(p, 0, 1); }
+inline void prefetch_rw(const void* p) noexcept { __builtin_prefetch(p, 1, 1); }
+}  // namespace detail
+
+// Inserts values[lo..hi) with in-block prefetch pipelining; whole-batch
+// parallel. One insert phase.
+template <typename Table, typename V>
+void insert_batch(Table& t, const std::vector<V>& values) {
+  blocked_for(0, values.size(), 2048, [&](std::size_t, std::size_t s, std::size_t e) {
+    for (std::size_t i = s; i < e; ++i) {
+      if (i + kPrefetchAhead < e) {
+        detail::prefetch_rw(
+            t.home_address(Table::traits::key(values[i + kPrefetchAhead])));
+      }
+      t.insert(values[i]);
+    }
+  });
+}
+
+// Looks up keys[0..n); out[i] = stored value or empty. One query phase.
+template <typename Table, typename K>
+std::vector<typename Table::value_type> find_batch(const Table& t,
+                                                   const std::vector<K>& keys) {
+  std::vector<typename Table::value_type> out(keys.size());
+  blocked_for(0, keys.size(), 2048, [&](std::size_t, std::size_t s, std::size_t e) {
+    for (std::size_t i = s; i < e; ++i) {
+      if (i + kPrefetchAhead < e) {
+        detail::prefetch_ro(t.home_address(keys[i + kPrefetchAhead]));
+      }
+      out[i] = t.find(keys[i]);
+    }
+  });
+  return out;
+}
+
+// Erases keys[0..n). One delete phase.
+template <typename Table, typename K>
+void erase_batch(Table& t, const std::vector<K>& keys) {
+  blocked_for(0, keys.size(), 2048, [&](std::size_t, std::size_t s, std::size_t e) {
+    for (std::size_t i = s; i < e; ++i) {
+      if (i + kPrefetchAhead < e) {
+        detail::prefetch_rw(t.home_address(keys[i + kPrefetchAhead]));
+      }
+      t.erase(keys[i]);
+    }
+  });
+}
+
+}  // namespace phch

@@ -1,0 +1,168 @@
+// cuckooHash: the paper's phase-concurrent (but non-deterministic) cuckoo
+// baseline. Two hash functions; an insertion locks its element's two
+// candidate slots in increasing slot order (deadlock freedom), places the
+// element in one of them, and recursively re-inserts any evicted element.
+// The final position of an element depends on insertion interleaving, so
+// the layout is history-dependent.
+//
+// As in the paper's implementation, every slot carries its own lock, which
+// enlarges the memory footprint and is why elements() is slower here than
+// for the plain linear-probing tables.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/core/phase_guard.h"
+#include "phch/core/table_common.h"
+#include "phch/parallel/atomics.h"
+#include "phch/parallel/primitives.h"
+#include "phch/parallel/spinlock.h"
+
+namespace phch {
+
+template <typename Traits = int_entry<>, typename Phase = unchecked_phases>
+class cuckoo_table {
+ public:
+  using traits = Traits;
+  using value_type = typename Traits::value_type;
+  using key_type = typename Traits::key_type;
+
+  explicit cuckoo_table(std::size_t min_capacity)
+      : capacity_(round_up_pow2(min_capacity < 4 ? 4 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_),
+        locks_(capacity_) {
+    clear();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t count() const {
+    return reduce(std::size_t{0}, capacity_, std::size_t{0}, std::plus<std::size_t>{},
+                  [&](std::size_t i) {
+                    return Traits::is_empty(slots_[i]) ? std::size_t{0} : std::size_t{1};
+                  });
+  }
+
+  void clear() {
+    parallel_for(0, capacity_, [&](std::size_t i) { slots_[i] = Traits::empty(); });
+  }
+
+  void insert(value_type v) {
+    typename Phase::scope guard(phase_, op_kind::insert);
+    assert(!Traits::is_empty(v));
+    // `avoid` is the slot the current element was just evicted from, so the
+    // chain does not immediately bounce it back.
+    std::size_t avoid = capacity_;  // invalid
+    for (std::size_t iter = 0; iter < kMaxEvictions; ++iter) {
+      const key_type k = Traits::key(v);
+      const std::size_t i1 = home1(k);
+      const std::size_t i2 = home2(k);
+      lock_pair(i1, i2);
+      // Duplicate key already present?
+      for (const std::size_t s : {i1, i2}) {
+        const value_type c = slots_[s];
+        if (!Traits::is_empty(c) && Traits::key_equal(Traits::key(c), k)) {
+          if constexpr (Traits::has_combine) {
+            atomic_store(&slots_[s], Traits::combine(c, v));
+          }
+          unlock_pair(i1, i2);
+          return;
+        }
+      }
+      // An empty candidate slot?
+      for (const std::size_t s : {i1, i2}) {
+        if (Traits::is_empty(slots_[s])) {
+          atomic_store(&slots_[s], v);
+          unlock_pair(i1, i2);
+          return;
+        }
+      }
+      // Evict: prefer i1 unless that is where v just came from.
+      const std::size_t victim_slot = (i1 == avoid) ? i2 : i1;
+      const value_type victim = slots_[victim_slot];
+      atomic_store(&slots_[victim_slot], v);
+      unlock_pair(i1, i2);
+      v = victim;
+      avoid = victim_slot;
+    }
+    throw table_full_error();  // eviction chain too long: table effectively full
+  }
+
+  void erase(key_type kq) {
+    typename Phase::scope guard(phase_, op_kind::erase);
+    const std::size_t i1 = home1(kq);
+    const std::size_t i2 = home2(kq);
+    lock_pair(i1, i2);
+    for (const std::size_t s : {i1, i2}) {
+      const value_type c = slots_[s];
+      if (!Traits::is_empty(c) && Traits::key_equal(Traits::key(c), kq)) {
+        atomic_store(&slots_[s], Traits::empty());
+        break;
+      }
+    }
+    unlock_pair(i1, i2);
+  }
+
+  value_type find(key_type kq) const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    for (const std::size_t s : {home1(kq), home2(kq)}) {
+      const value_type c = atomic_load(&slots_[s]);
+      if (!Traits::is_empty(c) && Traits::key_equal(Traits::key(c), kq)) return c;
+    }
+    return Traits::empty();
+  }
+
+  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
+
+  std::vector<value_type> elements() const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    return pack(
+        capacity_, [&](std::size_t i) { return !Traits::is_empty(slots_[i]); },
+        [&](std::size_t i) { return slots_[i]; });
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    parallel_for(0, capacity_, [&](std::size_t s) {
+      const value_type c = slots_[s];
+      if (!Traits::is_empty(c)) f(c);
+    });
+  }
+
+ private:
+  static constexpr std::size_t kMaxEvictions = 10000;
+
+  std::size_t home1(key_type k) const noexcept { return Traits::hash(k) & mask_; }
+  std::size_t home2(key_type k) const noexcept {
+    // Independent second hash from a re-mix of the primary hash.
+    return hash64(Traits::hash(k) ^ 0xc2b2ae3d27d4eb4fULL) & mask_;
+  }
+
+  void lock_pair(std::size_t a, std::size_t b) const {
+    if (a == b) {
+      locks_[a].lock();
+      return;
+    }
+    if (a > b) std::swap(a, b);  // increasing order prevents deadlock
+    locks_[a].lock();
+    locks_[b].lock();
+  }
+  void unlock_pair(std::size_t a, std::size_t b) const {
+    locks_[a].unlock();
+    if (b != a) locks_[b].unlock();
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::vector<value_type> slots_;
+  mutable std::vector<spinlock> locks_;
+  mutable Phase phase_;
+};
+
+}  // namespace phch

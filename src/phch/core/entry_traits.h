@@ -1,0 +1,229 @@
+// Entry trait policies for the hash tables.
+//
+// A table is parameterized by a Traits type describing what lives in a slot:
+//
+//   using value_type = ...;        // slot contents; 1/2/4/8/16 bytes, CAS-able
+//   using key_type   = ...;
+//   static value_type empty();                 // the ⊥ element
+//   static bool is_empty(value_type);
+//   static key_type key(value_type);
+//   static std::uint64_t hash(key_type);       // full-width hash, table masks it
+//   static bool priority_less(key_type, key_type);   // strict total order
+//   static bool key_equal(key_type, key_type);
+//   static constexpr bool has_combine;         // duplicate-key value merging
+//   static value_type combine(value_type stored, value_type incoming);
+//
+// The paper's convention: ⊥ has lower priority than every key; tables handle
+// ⊥ explicitly and never pass it to priority_less. For deterministic tables
+// the combine function must be commutative and associative so duplicate
+// key-value pairs merge to the same result in any order (paper §4
+// "Combining": min or + in the experiments).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+#include "phch/parallel/atomics.h"
+#include "phch/utils/rand.h"
+
+namespace phch {
+
+// ---------------------------------------------------------------------------
+// Integer keys, no associated value (randomSeq-int / exptSeq-int workloads).
+// ---------------------------------------------------------------------------
+template <typename K = std::uint64_t>
+struct int_entry {
+  static_assert(std::is_unsigned_v<K>);
+  using value_type = K;
+  using key_type = K;
+
+  static constexpr value_type empty() noexcept { return std::numeric_limits<K>::max(); }
+  static bool is_empty(value_type v) noexcept { return v == empty(); }
+  // Reserved transient marker used by hopscotch displacement; never a key.
+  static constexpr value_type busy() noexcept { return std::numeric_limits<K>::max() - 1; }
+  static key_type key(value_type v) noexcept { return v; }
+  static std::uint64_t hash(key_type k) noexcept { return hash64(k); }
+  static bool priority_less(key_type a, key_type b) noexcept { return a < b; }
+  static bool key_equal(key_type a, key_type b) noexcept { return a == b; }
+
+  static constexpr bool has_combine = false;
+  static value_type combine(value_type stored, value_type) noexcept { return stored; }
+};
+
+// ---------------------------------------------------------------------------
+// Key-value pairs of 64-bit integers in a 16-byte slot (double-word CAS),
+// matching the paper's randomSeq-pairInt / exptSeq-pairInt workloads.
+// Combine selects or merges the value deterministically on duplicate keys.
+// ---------------------------------------------------------------------------
+struct alignas(16) kv64 {
+  std::uint64_t k;
+  std::uint64_t v;
+  friend bool operator==(const kv64& a, const kv64& b) noexcept {
+    return a.k == b.k && a.v == b.v;
+  }
+};
+
+struct combine_min {
+  static std::uint64_t apply(std::uint64_t a, std::uint64_t b) noexcept {
+    return a < b ? a : b;
+  }
+};
+struct combine_max {
+  static std::uint64_t apply(std::uint64_t a, std::uint64_t b) noexcept {
+    return a < b ? b : a;
+  }
+};
+struct combine_add {
+  static std::uint64_t apply(std::uint64_t a, std::uint64_t b) noexcept { return a + b; }
+};
+
+template <typename Combine = combine_min>
+struct pair_entry {
+  using value_type = kv64;
+  using key_type = std::uint64_t;
+
+  static constexpr value_type empty() noexcept {
+    return kv64{std::numeric_limits<std::uint64_t>::max(),
+                std::numeric_limits<std::uint64_t>::max()};
+  }
+  static bool is_empty(value_type v) noexcept {
+    return v.k == std::numeric_limits<std::uint64_t>::max();
+  }
+  static constexpr value_type busy() noexcept {
+    return kv64{std::numeric_limits<std::uint64_t>::max() - 1, 0};
+  }
+  static key_type key(value_type v) noexcept { return v.k; }
+  static std::uint64_t hash(key_type k) noexcept { return hash64(k); }
+  static bool priority_less(key_type a, key_type b) noexcept { return a < b; }
+  static bool key_equal(key_type a, key_type b) noexcept { return a == b; }
+
+  static constexpr bool has_combine = true;
+  static value_type combine(value_type stored, value_type incoming) noexcept {
+    return kv64{stored.k, Combine::apply(stored.v, incoming.v)};
+  }
+
+  // In-place merge for non-deterministic tables, where a stored entry never
+  // moves: only the value word is updated, with hardware xadd when the
+  // combine function is +, exactly the optimization the paper describes for
+  // linearHash-ND in edge contraction.
+  static void combine_inplace(value_type* slot, value_type incoming) noexcept {
+    if constexpr (std::is_same_v<Combine, combine_add>) {
+      fetch_add(&slot->v, incoming.v);
+    } else {
+      std::uint64_t cur = atomic_load(&slot->v);
+      for (;;) {
+        const std::uint64_t merged = Combine::apply(cur, incoming.v);
+        if (merged == cur || cas(&slot->v, cur, merged)) return;
+        cur = atomic_load(&slot->v);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// C-string keys stored by pointer (trigramSeq workload). The table slot is a
+// `const char*`; priority is lexicographic so the layout is a function of
+// string *contents*, not pointer values (pointer order would not be
+// deterministic across allocations).
+// ---------------------------------------------------------------------------
+struct string_entry {
+  using value_type = const char*;
+  using key_type = const char*;
+
+  static constexpr value_type empty() noexcept { return nullptr; }
+  static bool is_empty(value_type v) noexcept { return v == nullptr; }
+  static value_type busy() noexcept { return reinterpret_cast<value_type>(std::uintptr_t{1}); }
+  static key_type key(value_type v) noexcept { return v; }
+  static std::uint64_t hash(key_type k) noexcept {
+    // FNV-1a, then mixed; deterministic function of the characters.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char* p = k; *p; ++p) h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ULL;
+    return hash64(h);
+  }
+  static bool priority_less(key_type a, key_type b) noexcept {
+    return std::strcmp(a, b) < 0;
+  }
+  static bool key_equal(key_type a, key_type b) noexcept {
+    return a == b || std::strcmp(a, b) == 0;
+  }
+
+  static constexpr bool has_combine = false;
+  static value_type combine(value_type stored, value_type) noexcept { return stored; }
+};
+
+// ---------------------------------------------------------------------------
+// Pointer-to-struct entries (trigramSeq-pairInt): the slot holds a pointer to
+// a {string key, integer value} record, adding the level of indirection the
+// paper describes. Duplicate keys keep the record whose value has the higher
+// priority (deterministic), matching linearHash-D's behaviour for pairs.
+// ---------------------------------------------------------------------------
+struct string_kv {
+  const char* key;
+  std::uint64_t value;
+};
+
+struct string_pair_entry {
+  using value_type = const string_kv*;
+  using key_type = const char*;
+
+  static constexpr value_type empty() noexcept { return nullptr; }
+  static bool is_empty(value_type v) noexcept { return v == nullptr; }
+  static value_type busy() noexcept { return reinterpret_cast<value_type>(std::uintptr_t{1}); }
+  static key_type key(value_type v) noexcept { return v->key; }
+  static std::uint64_t hash(key_type k) noexcept { return string_entry::hash(k); }
+  static bool priority_less(key_type a, key_type b) noexcept {
+    return std::strcmp(a, b) < 0;
+  }
+  static bool key_equal(key_type a, key_type b) noexcept {
+    return a == b || std::strcmp(a, b) == 0;
+  }
+
+  static constexpr bool has_combine = true;
+  static value_type combine(value_type stored, value_type incoming) noexcept {
+    // Keep the record with the smaller value (ties by the pointer with the
+    // smaller value field are impossible to break deterministically, so the
+    // value itself must be a deterministic tiebreak; min works for the
+    // workloads used here).
+    return incoming->value < stored->value ? incoming : stored;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 32-bit key / 32-bit value packed into one 64-bit word: used by the graph
+// applications (vertex ids / edge endpoints fit in 32 bits) to get
+// single-word CAS on pairs.
+// ---------------------------------------------------------------------------
+template <typename Combine = combine_min>
+struct packed_pair_entry {
+  using value_type = std::uint64_t;  // (key << 32) | value
+  using key_type = std::uint32_t;
+
+  static value_type make(std::uint32_t k, std::uint32_t v) noexcept {
+    return (static_cast<std::uint64_t>(k) << 32) | v;
+  }
+  static std::uint32_t value_of(value_type e) noexcept {
+    return static_cast<std::uint32_t>(e);
+  }
+
+  static constexpr value_type empty() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  static bool is_empty(value_type v) noexcept { return v == empty(); }
+  static constexpr value_type busy() noexcept {
+    return std::numeric_limits<std::uint64_t>::max() - 1;
+  }
+  static key_type key(value_type v) noexcept { return static_cast<key_type>(v >> 32); }
+  static std::uint64_t hash(key_type k) noexcept { return hash64(k); }
+  static bool priority_less(key_type a, key_type b) noexcept { return a < b; }
+  static bool key_equal(key_type a, key_type b) noexcept { return a == b; }
+
+  static constexpr bool has_combine = true;
+  static value_type combine(value_type stored, value_type incoming) noexcept {
+    return make(key(stored),
+                static_cast<std::uint32_t>(Combine::apply(value_of(stored), value_of(incoming))));
+  }
+};
+
+}  // namespace phch

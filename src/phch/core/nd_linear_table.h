@@ -1,0 +1,190 @@
+// linearHash-ND: non-deterministic phase-concurrent linear probing, the
+// paper's history-dependent baseline modeled on Gao, Groote & Hesselink
+// (Distributed Computing 2005), with two changes the paper makes:
+//  - deletions shift elements back (hole filling) instead of leaving
+//    tombstones, and
+//  - no resizing.
+//
+// Inserts place an element in the *first empty slot* of its probe sequence,
+// so the layout depends on arrival order — the table is not deterministic.
+// Inserted elements never move during an insert phase, which is why the
+// paper notes inserts and finds could legally share a phase here, and why
+// duplicate-key combining can update the value word in place (xadd).
+//
+// Deletion reuses the same hole-filling replacement protocol as the
+// deterministic table (the replacement choice depends only on hash homes,
+// not priorities): find the element, swap in the nearest later element that
+// hashes at-or-before the hole, then chase the duplicated copy.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/core/phase_guard.h"
+#include "phch/core/table_common.h"
+#include "phch/parallel/atomics.h"
+
+namespace phch {
+
+template <typename Traits = int_entry<>, typename Phase = unchecked_phases>
+class nd_linear_table {
+ public:
+  using traits = Traits;
+  using value_type = typename Traits::value_type;
+  using key_type = typename Traits::key_type;
+
+  explicit nd_linear_table(std::size_t min_capacity) : slots_(min_capacity) {}
+
+  std::size_t capacity() const noexcept { return slots_.capacity(); }
+  std::size_t count() const { return slots_.count(); }
+  double load_factor() const { return static_cast<double>(count()) / capacity(); }
+  void clear() { slots_.clear(); }
+
+  void insert(value_type v) {
+    typename Phase::scope guard(phase_, op_kind::insert);
+    assert(!Traits::is_empty(v));
+    std::size_t i = home(Traits::key(v));
+    std::size_t advances = 0;
+    for (;;) {
+      const value_type c = atomic_load(&slots_[i]);
+      if (Traits::is_empty(c)) {
+        if (cas(&slots_[i], c, v)) return;
+        continue;  // slot was taken meanwhile; re-examine it
+      }
+      if (Traits::key_equal(Traits::key(c), Traits::key(v))) {
+        if constexpr (Traits::has_combine) {
+          combine_slot(&slots_[i], c, v);
+        }
+        return;  // never replaces on duplicate keys
+      }
+      i = next(i);
+      if (++advances > capacity()) throw table_full_error();
+    }
+  }
+
+  void erase(key_type kq) {
+    typename Phase::scope guard(phase_, op_kind::erase);
+    const std::size_t cap = capacity();
+    std::uint64_t i = cap + home(kq);
+    std::uint64_t k = i;
+    // Without an ordering invariant the forward scan can only stop at ⊥.
+    for (;;) {
+      if (Traits::is_empty(atomic_load(slot(k)))) break;
+      ++k;
+      if (k - i > cap) throw table_full_error();
+    }
+    while (k >= i) {
+      const value_type c = atomic_load(slot(k));
+      if (Traits::is_empty(c) || !Traits::key_equal(Traits::key(c), kq)) {
+        --k;
+        continue;
+      }
+      const auto [j, w] = find_replacement(k);
+      if (cas(slot(k), c, w)) {
+        if (!Traits::is_empty(w)) {
+          kq = Traits::key(w);
+          k = j;
+          i = unwrapped_home(w, j);
+        } else {
+          return;
+        }
+      } else {
+        --k;
+      }
+    }
+  }
+
+  // Probe until the key or an empty slot; no early exit is possible without
+  // the ordering invariant.
+  value_type find(key_type kq) const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    std::size_t i = home(kq);
+    std::size_t advances = 0;
+    for (;;) {
+      const value_type c = atomic_load(&slots_[i]);
+      if (Traits::is_empty(c)) return Traits::empty();
+      if (Traits::key_equal(Traits::key(c), kq)) return c;
+      i = next(i);
+      bump(advances);
+    }
+  }
+
+  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
+
+  std::vector<value_type> elements() const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    return slots_.elements();
+  }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    typename Phase::scope guard(phase_, op_kind::query);
+    parallel_for(0, capacity(), [&](std::size_t s) {
+      const value_type c = slots_[s];
+      if (!Traits::is_empty(c)) f(c);
+    });
+  }
+
+  const value_type* raw_slots() const noexcept { return slots_.data(); }
+
+  // Address of the key's home slot, for software prefetching in batched
+  // operations (see core/batch_ops.h).
+  const void* home_address(key_type k) const noexcept { return &slots_[home(k)]; }
+
+ private:
+  std::size_t home(key_type k) const noexcept { return Traits::hash(k) & slots_.mask(); }
+  std::size_t next(std::size_t i) const noexcept { return (i + 1) & slots_.mask(); }
+  value_type* slot(std::uint64_t unwrapped) noexcept {
+    return &slots_[unwrapped & slots_.mask()];
+  }
+  const value_type* slot(std::uint64_t unwrapped) const noexcept {
+    return &slots_[unwrapped & slots_.mask()];
+  }
+  void bump(std::size_t& advances) const {
+    if (++advances > capacity()) throw table_full_error();
+  }
+  std::uint64_t unwrapped_home(value_type v, std::uint64_t j) const noexcept {
+    const std::uint64_t raw = home(Traits::key(v));
+    return j - ((j - raw) & slots_.mask());
+  }
+
+  static void combine_slot(value_type* p, value_type seen, value_type incoming) noexcept {
+    if constexpr (requires { Traits::combine_inplace(p, incoming); }) {
+      Traits::combine_inplace(p, incoming);
+    } else {
+      value_type cur = seen;
+      for (;;) {
+        const value_type merged = Traits::combine(cur, incoming);
+        if (bits_equal(merged, cur) || cas(p, cur, merged)) return;
+        cur = atomic_load(p);
+      }
+    }
+  }
+
+  std::pair<std::uint64_t, value_type> find_replacement(std::uint64_t k) const {
+    const std::size_t cap = capacity();
+    std::uint64_t j = k;
+    value_type w;
+    do {
+      ++j;
+      if (j - k > cap) throw table_full_error();
+      w = atomic_load(slot(j));
+    } while (!Traits::is_empty(w) && unwrapped_home(w, j) > k);
+    for (std::uint64_t m = j - 1; m > k; --m) {
+      const value_type w2 = atomic_load(slot(m));
+      if (Traits::is_empty(w2) || unwrapped_home(w2, m) <= k) {
+        w = w2;
+        j = m;
+      }
+    }
+    return {j, w};
+  }
+
+  slot_array<Traits> slots_;
+  mutable Phase phase_;
+};
+
+}  // namespace phch

@@ -1,0 +1,64 @@
+// Phase-discipline checking (Definition 1 of the paper).
+//
+// A phase-concurrent table requires the caller to keep operations of
+// different types from overlapping in time:
+//     S = { {insert}, {delete}, {find, elements} }.
+// Tables take a Phase policy parameter and hold one instance of it.
+// `unchecked_phases` (the default) compiles to nothing, as in the paper's
+// benchmarked code. `checked_phases` maintains per-table in-flight counters
+// per operation class and aborts the process on an illegal overlap — used by
+// the test suite to prove the applications obey the discipline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace phch {
+
+enum class op_kind : std::uint8_t { insert = 0, erase = 1, query = 2 };
+
+struct unchecked_phases {
+  struct scope {
+    scope(unchecked_phases&, op_kind) noexcept {}
+  };
+};
+
+class checked_phases {
+ public:
+  class scope {
+   public:
+    scope(checked_phases& owner, op_kind kind) noexcept : owner_(owner), kind_(kind) {
+      const std::uint64_t prev =
+          owner_.in_flight_.fetch_add(delta(kind_), std::memory_order_acq_rel);
+      // Each op class owns 21 bits of the counter; any other class having a
+      // non-zero count means ops of different types overlapped in time.
+      for (int k = 0; k < 3; ++k) {
+        if (k != static_cast<int>(kind_) && ((prev >> (21 * k)) & mask21) != 0) {
+          std::fprintf(stderr,
+                       "phch: phase-concurrency violation: op class %d started while "
+                       "class %d in flight\n",
+                       static_cast<int>(kind_), k);
+          std::abort();
+        }
+      }
+    }
+    ~scope() { owner_.in_flight_.fetch_sub(delta(kind_), std::memory_order_acq_rel); }
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+   private:
+    checked_phases& owner_;
+    op_kind kind_;
+  };
+
+ private:
+  static constexpr std::uint64_t mask21 = (1ULL << 21) - 1;
+  static std::uint64_t delta(op_kind k) noexcept {
+    return 1ULL << (21 * static_cast<int>(k));
+  }
+  std::atomic<std::uint64_t> in_flight_{0};
+};
+
+}  // namespace phch

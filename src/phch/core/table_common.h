@@ -1,0 +1,83 @@
+// Shared helpers for the hash table implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "phch/parallel/parallel_for.h"
+#include "phch/parallel/primitives.h"
+
+namespace phch {
+
+// Thrown when an operation cannot complete because the table has no room
+// (the paper's algorithms require a non-full table to terminate).
+struct table_full_error : std::runtime_error {
+  table_full_error() : std::runtime_error("phch: hash table is full") {}
+};
+
+inline std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+// Bitwise equality for trivially-copyable slot values (kv64 and friends have
+// no padding; pointers and integers trivially qualify).
+template <typename T>
+inline bool bits_equal(const T& a, const T& b) noexcept {
+  return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+// A power-of-two-sized slot array initialized to the traits' empty value in
+// parallel. All tables build on this.
+template <typename Traits>
+class slot_array {
+ public:
+  using value_type = typename Traits::value_type;
+
+  explicit slot_array(std::size_t min_capacity)
+      : capacity_(round_up_pow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {
+    clear();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t mask() const noexcept { return mask_; }
+
+  value_type* data() noexcept { return slots_.data(); }
+  const value_type* data() const noexcept { return slots_.data(); }
+
+  value_type& operator[](std::size_t i) noexcept { return slots_[i]; }
+  const value_type& operator[](std::size_t i) const noexcept { return slots_[i]; }
+
+  void clear() {
+    parallel_for(0, capacity_, [&](std::size_t i) { slots_[i] = Traits::empty(); });
+  }
+
+  // Number of occupied slots (parallel count).
+  std::size_t count() const {
+    return reduce(std::size_t{0}, capacity_, std::size_t{0}, std::plus<std::size_t>{},
+                  [&](std::size_t i) {
+                    return Traits::is_empty(slots_[i]) ? std::size_t{0} : std::size_t{1};
+                  });
+  }
+
+  // Packs the occupied slots into a contiguous array in slot order — the
+  // paper's ELEMENTS(): a prefix sum over per-block counts plus
+  // cache-block-friendly writes.
+  std::vector<value_type> elements() const {
+    return pack(
+        capacity_, [&](std::size_t i) { return !Traits::is_empty(slots_[i]); },
+        [&](std::size_t i) { return slots_[i]; });
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::vector<value_type> slots_;
+};
+
+}  // namespace phch

@@ -1,0 +1,306 @@
+// Delaunay triangulation substrate: a triangle mesh with neighbor pointers
+// and an incremental Bowyer–Watson triangulator (walking point location +
+// cavity retriangulation). Used to build the inputs for the Delaunay
+// refinement application and by the refinement itself.
+//
+// A large enclosing "super-triangle" of three artificial vertices bounds the
+// mesh, so every insertion point is interior and walks never fall off the
+// hull. Triangles incident to super-vertices are excluded from quality
+// measurements (is_real()).
+//
+// The triangle array is append-only: dead triangles are flagged, never
+// reused, so triangle ids are stable — which the refinement's deterministic
+// reservations rely on.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "phch/geometry/point.h"
+#include "phch/geometry/predicates.h"
+
+namespace phch::geometry {
+
+using tri_id = std::int64_t;
+inline constexpr tri_id kNoTri = -1;
+
+struct triangle {
+  std::array<std::int32_t, 3> v;    // vertex indices, CCW
+  std::array<tri_id, 3> nbr;        // nbr[i] shares the edge opposite v[i]
+  bool alive = true;
+};
+
+class mesh {
+ public:
+  // Builds the Delaunay triangulation of `points` (plus 3 super-vertices)
+  // by randomized incremental insertion.
+  static mesh delaunay(const std::vector<point2d>& points);
+
+  const std::vector<point2d>& points() const noexcept { return points_; }
+  const std::vector<triangle>& triangles() const noexcept { return tris_; }
+  std::vector<point2d>& points() noexcept { return points_; }
+  std::vector<triangle>& triangles() noexcept { return tris_; }
+
+  std::size_t num_super_vertices() const noexcept { return 3; }
+  bool is_super_vertex(std::int32_t v) const noexcept { return v < 3; }
+
+  // Alive and not incident to a super-vertex.
+  bool is_real(tri_id t) const noexcept {
+    const triangle& tr = tris_[static_cast<std::size_t>(t)];
+    return tr.alive && !is_super_vertex(tr.v[0]) && !is_super_vertex(tr.v[1]) &&
+           !is_super_vertex(tr.v[2]);
+  }
+
+  point2d pt(std::int32_t v) const noexcept {
+    return points_[static_cast<std::size_t>(v)];
+  }
+
+  // True iff p lies strictly inside the super-triangle (insertable: walks
+  // cannot fall off the mesh). Circumcenters of nearly-degenerate triangles
+  // can land outside; the refinement skips those.
+  bool insertable(point2d p) const noexcept {
+    return orient2d(pt(0), pt(1), p) > 0 && orient2d(pt(1), pt(2), p) > 0 &&
+           orient2d(pt(2), pt(0), p) > 0;
+  }
+
+  // Walks from `hint` to the live triangle containing p (ties on edges go
+  // to either side consistently). Read-only; safe to run concurrently with
+  // other reads.
+  tri_id locate(point2d p, tri_id hint) const;
+
+  // All live triangles whose circumcircle strictly contains p, found by
+  // search from the containing triangle `t0`. Read-only. Result order is a
+  // deterministic function of (mesh, t0).
+  std::vector<tri_id> cavity_of(point2d p, tri_id t0) const;
+
+  // Inserts p (already appended to points() by the caller as index pv) by
+  // carving `cavity` and fanning new triangles to pv. New triangles are
+  // written at indices [slot, slot + cavity boundary size); the caller must
+  // have resized triangles() to make room and guarantee exclusive access to
+  // the cavity and its outer ring. Returns the ids of the new triangles.
+  // (Serial construction passes slot = tris.size() after growing by the
+  // boundary size; the parallel refinement allocates slots by prefix sums.)
+  std::vector<tri_id> carve_and_fill(std::int32_t pv, const std::vector<tri_id>& cavity,
+                                     std::size_t slot);
+
+  // Number of boundary edges of a cavity (= number of new triangles its
+  // retriangulation creates).
+  std::size_t cavity_boundary_size(const std::vector<tri_id>& cavity) const;
+
+  // Sanity checks used by tests: local Delaunay property and neighbor
+  // pointer symmetry over all live triangles.
+  bool check_valid() const;
+
+ private:
+  std::vector<point2d> points_;
+  std::vector<triangle> tris_;
+
+  bool in_cavity(const std::vector<tri_id>& cavity, tri_id t) const {
+    for (const tri_id c : cavity)
+      if (c == t) return true;
+    return false;
+  }
+};
+
+// --- implementation -------------------------------------------------------
+
+inline tri_id mesh::locate(point2d p, tri_id hint) const {
+  tri_id cur = hint;
+  const std::size_t max_steps = 4 * tris_.size() + 64;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const triangle& t = tris_[static_cast<std::size_t>(cur)];
+    bool moved = false;
+    for (int i = 0; i < 3; ++i) {
+      const point2d a = pt(t.v[(i + 1) % 3]);
+      const point2d b = pt(t.v[(i + 2) % 3]);
+      if (orient2d(a, b, p) < 0) {  // p strictly right of directed edge a->b
+        const tri_id next = t.nbr[static_cast<std::size_t>(i)];
+        if (next == kNoTri) throw std::runtime_error("phch: locate fell off the mesh");
+        cur = next;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) return cur;
+  }
+  throw std::runtime_error("phch: locate did not converge");
+}
+
+inline std::vector<tri_id> mesh::cavity_of(point2d p, tri_id t0) const {
+  std::vector<tri_id> cavity;
+  std::vector<tri_id> stack{t0};
+  cavity.push_back(t0);
+  while (!stack.empty()) {
+    const tri_id t = stack.back();
+    stack.pop_back();
+    const triangle& tr = tris_[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const tri_id nb = tr.nbr[static_cast<std::size_t>(i)];
+      if (nb == kNoTri || in_cavity(cavity, nb)) continue;
+      const triangle& nt = tris_[static_cast<std::size_t>(nb)];
+      if (in_circle(pt(nt.v[0]), pt(nt.v[1]), pt(nt.v[2]), p) > 0) {
+        cavity.push_back(nb);
+        stack.push_back(nb);
+      }
+    }
+  }
+  return cavity;
+}
+
+inline std::size_t mesh::cavity_boundary_size(const std::vector<tri_id>& cavity) const {
+  std::size_t edges = 0;
+  for (const tri_id t : cavity) {
+    const triangle& tr = tris_[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      if (!in_cavity(cavity, tr.nbr[static_cast<std::size_t>(i)])) ++edges;
+    }
+  }
+  return edges;
+}
+
+inline std::vector<tri_id> mesh::carve_and_fill(std::int32_t pv,
+                                                const std::vector<tri_id>& cavity,
+                                                std::size_t slot) {
+  // Collect boundary edges (a, b) in triangle CCW orientation together with
+  // the outside neighbor across each.
+  struct boundary_edge {
+    std::int32_t a;
+    std::int32_t b;
+    tri_id outside;
+  };
+  std::vector<boundary_edge> boundary;
+  boundary.reserve(cavity.size() + 2);
+  for (const tri_id t : cavity) {
+    const triangle& tr = tris_[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 3; ++i) {
+      const tri_id nb = tr.nbr[static_cast<std::size_t>(i)];
+      if (!in_cavity(cavity, nb)) {
+        boundary.push_back(
+            boundary_edge{tr.v[(i + 1) % 3], tr.v[(i + 2) % 3], nb});
+      }
+    }
+  }
+  // New triangle T_e = (a, b, pv) for each boundary edge; neighbors:
+  //   across (a, b)  -> the old outside triangle
+  //   across (b, pv) -> the new triangle whose boundary edge starts at b
+  //   across (pv, a) -> the new triangle whose boundary edge ends at a
+  std::vector<tri_id> fresh(boundary.size());
+  for (std::size_t e = 0; e < boundary.size(); ++e)
+    fresh[e] = static_cast<tri_id>(slot + e);
+  auto starting_at = [&](std::int32_t vtx) {
+    for (std::size_t e = 0; e < boundary.size(); ++e)
+      if (boundary[e].a == vtx) return fresh[e];
+    throw std::runtime_error("phch: open cavity boundary");
+  };
+  auto ending_at = [&](std::int32_t vtx) {
+    for (std::size_t e = 0; e < boundary.size(); ++e)
+      if (boundary[e].b == vtx) return fresh[e];
+    throw std::runtime_error("phch: open cavity boundary");
+  };
+  for (std::size_t e = 0; e < boundary.size(); ++e) {
+    const boundary_edge& be = boundary[e];
+    triangle nt;
+    nt.v = {be.a, be.b, pv};
+    nt.nbr = {starting_at(be.b), ending_at(be.a), be.outside};
+    nt.alive = true;
+    tris_[static_cast<std::size_t>(fresh[e])] = nt;
+    // Re-aim the outside triangle's pointer from the dead cavity triangle.
+    if (be.outside != kNoTri) {
+      triangle& out = tris_[static_cast<std::size_t>(be.outside)];
+      for (int i = 0; i < 3; ++i) {
+        if (in_cavity(cavity, out.nbr[static_cast<std::size_t>(i)])) {
+          // The edge shared with the cavity is (a, b) reversed in `out`.
+          const std::int32_t oa = out.v[(i + 1) % 3];
+          const std::int32_t ob = out.v[(i + 2) % 3];
+          if (oa == be.b && ob == be.a) {
+            out.nbr[static_cast<std::size_t>(i)] = fresh[e];
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const tri_id t : cavity) tris_[static_cast<std::size_t>(t)].alive = false;
+  return fresh;
+}
+
+inline mesh mesh::delaunay(const std::vector<point2d>& points) {
+  mesh m;
+  // Bounding box -> super-triangle comfortably containing all points.
+  double lo_x = 0;
+  double hi_x = 1;
+  double lo_y = 0;
+  double hi_y = 1;
+  if (!points.empty()) {
+    lo_x = hi_x = points[0].x;
+    lo_y = hi_y = points[0].y;
+    for (const point2d& p : points) {
+      lo_x = std::min(lo_x, p.x);
+      hi_x = std::max(hi_x, p.x);
+      lo_y = std::min(lo_y, p.y);
+      hi_y = std::max(hi_y, p.y);
+    }
+  }
+  const double w = std::max({hi_x - lo_x, hi_y - lo_y, 1.0});
+  const double cx = (lo_x + hi_x) / 2;
+  const double cy = (lo_y + hi_y) / 2;
+  m.points_.push_back(point2d{cx - 30 * w, cy - 20 * w});
+  m.points_.push_back(point2d{cx + 30 * w, cy - 20 * w});
+  m.points_.push_back(point2d{cx, cy + 40 * w});
+  m.points_.reserve(points.size() + 3);
+  for (const point2d& p : points) m.points_.push_back(p);
+
+  triangle root;
+  root.v = {0, 1, 2};
+  root.nbr = {kNoTri, kNoTri, kNoTri};
+  root.alive = true;
+  m.tris_.push_back(root);
+
+  tri_id hint = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::int32_t pv = static_cast<std::int32_t>(i + 3);
+    const point2d p = m.points_[static_cast<std::size_t>(pv)];
+    if (!m.tris_[static_cast<std::size_t>(hint)].alive) hint = static_cast<tri_id>(m.tris_.size() - 1);
+    const tri_id t0 = m.locate(p, hint);
+    const std::vector<tri_id> cavity = m.cavity_of(p, t0);
+    const std::size_t nb = m.cavity_boundary_size(cavity);
+    const std::size_t slot = m.tris_.size();
+    m.tris_.resize(slot + nb);
+    const auto fresh = m.carve_and_fill(pv, cavity, slot);
+    hint = fresh.empty() ? hint : fresh[0];
+  }
+  return m;
+}
+
+inline bool mesh::check_valid() const {
+  for (std::size_t t = 0; t < tris_.size(); ++t) {
+    const triangle& tr = tris_[t];
+    if (!tr.alive) continue;
+    if (orient2d(pt(tr.v[0]), pt(tr.v[1]), pt(tr.v[2])) <= 0) return false;
+    for (int i = 0; i < 3; ++i) {
+      const tri_id nb = tr.nbr[static_cast<std::size_t>(i)];
+      if (nb == kNoTri) continue;
+      const triangle& nt = tris_[static_cast<std::size_t>(nb)];
+      if (!nt.alive) return false;
+      bool back = false;
+      for (int j = 0; j < 3; ++j)
+        back |= nt.nbr[static_cast<std::size_t>(j)] == static_cast<tri_id>(t);
+      if (!back) return false;
+      // Local Delaunay: the apex of the neighbor must not lie strictly
+      // inside this triangle's circumcircle.
+      for (int j = 0; j < 3; ++j) {
+        const std::int32_t apex = nt.v[static_cast<std::size_t>(j)];
+        if (apex != tr.v[0] && apex != tr.v[1] && apex != tr.v[2]) {
+          if (in_circle(pt(tr.v[0]), pt(tr.v[1]), pt(tr.v[2]), pt(apex)) > 0)
+            return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace phch::geometry

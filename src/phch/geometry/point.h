@@ -1,0 +1,22 @@
+// 2D geometry basics for the Delaunay substrate.
+#pragma once
+
+#include <cmath>
+
+namespace phch::geometry {
+
+struct point2d {
+  double x;
+  double y;
+
+  friend point2d operator-(point2d a, point2d b) { return {a.x - b.x, a.y - b.y}; }
+  friend point2d operator+(point2d a, point2d b) { return {a.x + b.x, a.y + b.y}; }
+  friend bool operator==(point2d a, point2d b) { return a.x == b.x && a.y == b.y; }
+};
+
+inline double dot(point2d a, point2d b) { return a.x * b.x + a.y * b.y; }
+inline double cross(point2d a, point2d b) { return a.x * b.y - a.y * b.x; }
+inline double norm2(point2d a) { return dot(a, a); }
+inline double dist(point2d a, point2d b) { return std::sqrt(norm2(a - b)); }
+
+}  // namespace phch::geometry

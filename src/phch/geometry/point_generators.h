@@ -1,0 +1,38 @@
+// Point-set generators matching the paper's Delaunay inputs:
+//   2D-cube    n points uniform in the unit square (PBBS "2DinCube")
+//   2D-kuzmin  n points from the Kuzmin distribution — a radially symmetric
+//              density with a very dense core (PBBS "2Dkuzmin"), stressing
+//              non-uniform triangle sizes
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "phch/geometry/point.h"
+#include "phch/parallel/primitives.h"
+#include "phch/utils/rand.h"
+
+namespace phch::geometry {
+
+inline std::vector<point2d> cube2d_points(std::size_t n, std::uint64_t seed = 0) {
+  const rng r(hash64(seed ^ 0xc0beULL));
+  return tabulate(n, [&](std::size_t i) {
+    return point2d{r.fork(i).ith_double(0), r.fork(i).ith_double(1)};
+  });
+}
+
+inline std::vector<point2d> kuzmin_points(std::size_t n, std::uint64_t seed = 0) {
+  const rng r(hash64(seed ^ 0x4422ULL));
+  return tabulate(n, [&](std::size_t i) {
+    const rng ri = r.fork(i);
+    // Inverse-CDF sampling of the Kuzmin radial profile
+    // F(r) = 1 - 1/sqrt(1 + r^2)  =>  r = sqrt(1/(1-u)^2 - 1).
+    const double u = ri.ith_double(0) * 0.999999;  // avoid the infinite tail
+    const double rad = std::sqrt(1.0 / ((1.0 - u) * (1.0 - u)) - 1.0);
+    const double theta = ri.ith_double(1) * 2.0 * M_PI;
+    return point2d{rad * std::cos(theta), rad * std::sin(theta)};
+  });
+}
+
+}  // namespace phch::geometry

@@ -1,0 +1,101 @@
+#include "phch/geometry/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace phch::geometry {
+
+namespace {
+constexpr double kEps = 2.220446049250313e-16;  // double machine epsilon
+// Forward error coefficients in the style of Shewchuk's static filters.
+constexpr double kOrientBound = (3.0 + 16.0 * kEps) * kEps;
+constexpr double kInCircleBound = (10.0 + 96.0 * kEps) * kEps;
+
+double orient2d_exactish(point2d a, point2d b, point2d c) {
+  const long double acx = static_cast<long double>(a.x) - c.x;
+  const long double bcx = static_cast<long double>(b.x) - c.x;
+  const long double acy = static_cast<long double>(a.y) - c.y;
+  const long double bcy = static_cast<long double>(b.y) - c.y;
+  return static_cast<double>(acx * bcy - acy * bcx);
+}
+
+double in_circle_exactish(point2d a, point2d b, point2d c, point2d d) {
+  const long double adx = static_cast<long double>(a.x) - d.x;
+  const long double ady = static_cast<long double>(a.y) - d.y;
+  const long double bdx = static_cast<long double>(b.x) - d.x;
+  const long double bdy = static_cast<long double>(b.y) - d.y;
+  const long double cdx = static_cast<long double>(c.x) - d.x;
+  const long double cdy = static_cast<long double>(c.y) - d.y;
+  const long double ad2 = adx * adx + ady * ady;
+  const long double bd2 = bdx * bdx + bdy * bdy;
+  const long double cd2 = cdx * cdx + cdy * cdy;
+  const long double det = adx * (bdy * cd2 - cdy * bd2) -
+                          ady * (bdx * cd2 - cdx * bd2) +
+                          ad2 * (bdx * cdy - cdx * bdy);
+  return static_cast<double>(det);
+}
+}  // namespace
+
+double orient2d(point2d a, point2d b, point2d c) {
+  const double detl = (a.x - c.x) * (b.y - c.y);
+  const double detr = (a.y - c.y) * (b.x - c.x);
+  const double det = detl - detr;
+  const double mag = std::fabs(detl) + std::fabs(detr);
+  if (std::fabs(det) > kOrientBound * mag) return det;
+  return orient2d_exactish(a, b, c);
+}
+
+double in_circle(point2d a, point2d b, point2d c, point2d d) {
+  const double adx = a.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdx = b.x - d.x;
+  const double bdy = b.y - d.y;
+  const double cdx = c.x - d.x;
+  const double cdy = c.y - d.y;
+  const double ad2 = adx * adx + ady * ady;
+  const double bd2 = bdx * bdx + bdy * bdy;
+  const double cd2 = cdx * cdx + cdy * cdy;
+  const double det = adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+                     ad2 * (bdx * cdy - cdx * bdy);
+  const double mag = (std::fabs(adx) + std::fabs(ady)) * (std::fabs(bd2) + std::fabs(cd2)) +
+                     (std::fabs(bdx) + std::fabs(bdy)) * (std::fabs(ad2) + std::fabs(cd2)) +
+                     (std::fabs(cdx) + std::fabs(cdy)) * (std::fabs(ad2) + std::fabs(bd2));
+  if (std::fabs(det) > kInCircleBound * mag) return det;
+  return in_circle_exactish(a, b, c, d);
+}
+
+point2d circumcenter(point2d a, point2d b, point2d c) {
+  const point2d ab = b - a;
+  const point2d ac = c - a;
+  const double d = 2.0 * cross(ab, ac);
+  const double ab2 = norm2(ab);
+  const double ac2 = norm2(ac);
+  const double ux = (ac.y * ab2 - ab.y * ac2) / d;
+  const double uy = (ab.x * ac2 - ac.x * ab2) / d;
+  return point2d{a.x + ux, a.y + uy};
+}
+
+double min_angle(point2d a, point2d b, point2d c) {
+  auto angle_at = [](point2d p, point2d q, point2d r) {
+    const point2d u = q - p;
+    const point2d v = r - p;
+    const double cosv = dot(u, v) / std::sqrt(norm2(u) * norm2(v));
+    return std::acos(std::clamp(cosv, -1.0, 1.0));
+  };
+  return std::min({angle_at(a, b, c), angle_at(b, c, a), angle_at(c, a, b)});
+}
+
+double radius_edge_ratio(point2d a, point2d b, point2d c) {
+  const double la = dist(b, c);
+  const double lb = dist(a, c);
+  const double lc = dist(a, b);
+  const double shortest = std::min({la, lb, lc});
+  const double area2 = std::fabs(orient2d(a, b, c));  // twice the area
+  if (area2 == 0.0) return std::numeric_limits<double>::infinity();
+  // circumradius = (la * lb * lc) / (4 * area) = (la*lb*lc) / (2 * area2)
+  const double r = la * lb * lc / (2.0 * area2);
+  return r / shortest;
+}
+
+}  // namespace phch::geometry

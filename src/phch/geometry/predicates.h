@@ -1,0 +1,32 @@
+// Geometric predicates for Delaunay triangulation.
+//
+// orient2d / in_circle are evaluated in double precision with a static
+// forward-error filter; when the result magnitude is below the error bound
+// the predicate is re-evaluated in extended (long double) precision. This is
+// not a full Shewchuk adaptive-precision implementation, but it is reliable
+// for the randomized point sets used here (uniform square and Kuzmin disc),
+// where exactly-degenerate configurations do not arise; see DESIGN.md.
+#pragma once
+
+#include "phch/geometry/point.h"
+
+namespace phch::geometry {
+
+// > 0 if (a, b, c) make a counter-clockwise turn, < 0 clockwise, 0 collinear.
+double orient2d(point2d a, point2d b, point2d c);
+
+// > 0 if d lies strictly inside the circumcircle of CCW triangle (a, b, c),
+// < 0 strictly outside, 0 on the circle.
+double in_circle(point2d a, point2d b, point2d c, point2d d);
+
+// Circumcenter of (a, b, c); the triangle must not be degenerate.
+point2d circumcenter(point2d a, point2d b, point2d c);
+
+// Minimum angle of the triangle, in radians.
+double min_angle(point2d a, point2d b, point2d c);
+
+// Circumradius-to-shortest-edge ratio (Ruppert's quality measure; a
+// triangle is "skinny" when this exceeds 1 / (2 sin alpha)).
+double radius_edge_ratio(point2d a, point2d b, point2d c);
+
+}  // namespace phch::geometry

@@ -1,0 +1,90 @@
+// Graph generators matching the paper's inputs (§6):
+//   3D-grid   vertices on a d×d×d torus, 6 neighbors each (2 per dimension)
+//   random    every vertex draws k random neighbors (paper uses k = 5)
+//   rMat      recursive-matrix power-law graph (Chakrabarti et al. 2004)
+//             with the PBBS parameters a=.5, b=.1, c=.1, d=.3
+//
+// All generators are deterministic functions of their parameters and seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "phch/graph/graph.h"
+#include "phch/parallel/primitives.h"
+#include "phch/utils/rand.h"
+
+namespace phch::graph {
+
+// d*d*d-vertex torus grid: vertex (x,y,z) connects to its successor in each
+// dimension (symmetrization adds the predecessors, giving degree 6).
+inline std::vector<edge> grid3d_edges(std::size_t d) {
+  const std::size_t n = d * d * d;
+  std::vector<edge> edges(3 * n);
+  parallel_for(0, n, [&](std::size_t v) {
+    const std::size_t x = v % d;
+    const std::size_t y = (v / d) % d;
+    const std::size_t z = v / (d * d);
+    auto id = [&](std::size_t a, std::size_t b, std::size_t c) {
+      return static_cast<vertex_id>(a + b * d + c * d * d);
+    };
+    edges[3 * v + 0] = edge{static_cast<vertex_id>(v), id((x + 1) % d, y, z)};
+    edges[3 * v + 1] = edge{static_cast<vertex_id>(v), id(x, (y + 1) % d, z)};
+    edges[3 * v + 2] = edge{static_cast<vertex_id>(v), id(x, y, (z + 1) % d)};
+  });
+  return edges;
+}
+
+// Every vertex draws k uniformly random neighbors.
+inline std::vector<edge> random_k_edges(std::size_t n, std::size_t k = 5,
+                                        std::uint64_t seed = 0) {
+  const rng r(hash64(seed ^ 0x9a4fULL));
+  std::vector<edge> edges(n * k);
+  parallel_for(0, n * k, [&](std::size_t i) {
+    edges[i] = edge{static_cast<vertex_id>(i / k),
+                    static_cast<vertex_id>(r.ith_rand(i, n))};
+  });
+  return edges;
+}
+
+// rMat power-law graph over 2^lg_n vertices with m edges.
+inline std::vector<edge> rmat_edges(std::size_t lg_n, std::size_t m,
+                                    std::uint64_t seed = 0, double a = 0.5,
+                                    double b = 0.1, double c = 0.1) {
+  const rng r(hash64(seed ^ 0x47a3ULL));
+  std::vector<edge> edges(m);
+  parallel_for(0, m, [&](std::size_t i) {
+    const rng re = r.fork(i);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    for (std::size_t bit = 0; bit < lg_n; ++bit) {
+      const double p = re.ith_double(bit);
+      if (p < a) {
+        // upper-left quadrant: both bits 0
+      } else if (p < a + b) {
+        v |= std::uint64_t{1} << bit;
+      } else if (p < a + b + c) {
+        u |= std::uint64_t{1} << bit;
+      } else {
+        u |= std::uint64_t{1} << bit;
+        v |= std::uint64_t{1} << bit;
+      }
+    }
+    edges[i] = edge{static_cast<vertex_id>(u), static_cast<vertex_id>(v)};
+  });
+  return edges;
+}
+
+// Uniformly random edge weights in [1, max_w] for a given edge list.
+inline std::vector<weighted_edge> with_random_weights(const std::vector<edge>& edges,
+                                                      std::uint32_t max_w = 1 << 20,
+                                                      std::uint64_t seed = 0) {
+  const rng r(hash64(seed ^ 0x3e1caULL));
+  return tabulate(edges.size(), [&](std::size_t i) {
+    return weighted_edge{edges[i].u, edges[i].v,
+                         static_cast<std::uint32_t>(1 + r.ith_rand(i, max_w))};
+  });
+}
+
+}  // namespace phch::graph

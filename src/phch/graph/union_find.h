@@ -1,0 +1,58 @@
+// Union-find over vertex ids, used by spanning forest and edge contraction.
+//
+// The applications use it phase-concurrently, mirroring the hash table's
+// discipline: a *find phase* (concurrent finds with path compression — races
+// only ever shortcut pointers toward the root, so they are benign) and a
+// *link phase* where deterministic reservations guarantee each root is
+// re-parented by at most one winner and links always point from the larger
+// root id to the smaller, keeping the forest acyclic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "phch/parallel/parallel_for.h"
+
+namespace phch::graph {
+
+class union_find {
+ public:
+  explicit union_find(std::size_t n) : parent_(n) {
+    parallel_for(0, n, [&](std::size_t i) {
+      parent_[i].store(static_cast<std::uint32_t>(i), std::memory_order_relaxed);
+    });
+  }
+
+  // Root of v's component, with path compression. Safe to run concurrently
+  // with other finds: compression writes only replace a parent pointer with
+  // one of its ancestors.
+  std::uint32_t find(std::uint32_t v) noexcept {
+    std::uint32_t root = v;
+    while (true) {
+      const std::uint32_t p = parent_[root].load(std::memory_order_relaxed);
+      if (p == root) break;
+      root = p;
+    }
+    while (v != root) {
+      const std::uint32_t p = parent_[v].load(std::memory_order_relaxed);
+      parent_[v].store(root, std::memory_order_relaxed);
+      v = p;
+    }
+    return root;
+  }
+
+  // Re-parents root `child` under root `new_parent`. Caller must guarantee
+  // (via reservations) that each child root is linked by exactly one thread
+  // per phase and that links cannot form a cycle.
+  void link(std::uint32_t child, std::uint32_t new_parent) noexcept {
+    parent_[child].store(new_parent, std::memory_order_release);
+  }
+
+  std::size_t size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> parent_;
+};
+
+}  // namespace phch::graph

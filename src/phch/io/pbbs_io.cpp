@@ -1,0 +1,181 @@
+#include "phch/io/pbbs_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace phch::io {
+
+namespace {
+
+struct file_closer {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using unique_file = std::unique_ptr<std::FILE, file_closer>;
+
+unique_file open_or_throw(const std::string& path, const char* mode) {
+  unique_file f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("phch::io: cannot open " + path);
+  return f;
+}
+
+void expect_header(std::FILE* f, const char* header, const std::string& path) {
+  char buf[64] = {};
+  if (std::fscanf(f, "%63s", buf) != 1 || std::string(buf) != header) {
+    throw std::runtime_error("phch::io: " + path + ": expected header '" + header +
+                             "', got '" + buf + "'");
+  }
+}
+
+[[noreturn]] void malformed(const std::string& path) {
+  throw std::runtime_error("phch::io: " + path + ": malformed record");
+}
+
+}  // namespace
+
+// --- sequences ---------------------------------------------------------------
+
+void write_int_seq(const std::string& path, const std::vector<std::uint64_t>& seq) {
+  auto f = open_or_throw(path, "w");
+  std::fprintf(f.get(), "sequenceInt\n");
+  for (const auto v : seq) std::fprintf(f.get(), "%" PRIu64 "\n", v);
+}
+
+std::vector<std::uint64_t> read_int_seq(const std::string& path) {
+  auto f = open_or_throw(path, "r");
+  expect_header(f.get(), "sequenceInt", path);
+  std::vector<std::uint64_t> out;
+  std::uint64_t v = 0;
+  for (;;) {
+    const int got = std::fscanf(f.get(), "%" SCNu64, &v);
+    if (got == 1) {
+      out.push_back(v);
+    } else if (got == EOF && std::feof(f.get())) {
+      return out;
+    } else {
+      malformed(path);
+    }
+  }
+}
+
+void write_pair_seq(const std::string& path, const std::vector<kv64>& seq) {
+  auto f = open_or_throw(path, "w");
+  std::fprintf(f.get(), "sequenceIntPair\n");
+  for (const auto& p : seq) std::fprintf(f.get(), "%" PRIu64 " %" PRIu64 "\n", p.k, p.v);
+}
+
+std::vector<kv64> read_pair_seq(const std::string& path) {
+  auto f = open_or_throw(path, "r");
+  expect_header(f.get(), "sequenceIntPair", path);
+  std::vector<kv64> out;
+  kv64 p{0, 0};
+  for (;;) {
+    const int got = std::fscanf(f.get(), "%" SCNu64 " %" SCNu64, &p.k, &p.v);
+    if (got == 2) {
+      out.push_back(p);
+    } else if (got == EOF && std::feof(f.get())) {
+      return out;
+    } else {
+      malformed(path);  // junk or a truncated record
+    }
+  }
+}
+
+// --- graphs ------------------------------------------------------------------
+
+void write_edges(const std::string& path, const std::vector<graph::edge>& edges) {
+  auto f = open_or_throw(path, "w");
+  std::fprintf(f.get(), "EdgeArray\n");
+  for (const auto& e : edges) std::fprintf(f.get(), "%u %u\n", e.u, e.v);
+}
+
+std::vector<graph::edge> read_edges(const std::string& path) {
+  auto f = open_or_throw(path, "r");
+  expect_header(f.get(), "EdgeArray", path);
+  std::vector<graph::edge> out;
+  graph::edge e{0, 0};
+  for (;;) {
+    const int got = std::fscanf(f.get(), "%u %u", &e.u, &e.v);
+    if (got == 2) {
+      out.push_back(e);
+    } else if (got == EOF && std::feof(f.get())) {
+      return out;
+    } else {
+      malformed(path);  // junk or a truncated record
+    }
+  }
+}
+
+void write_weighted_edges(const std::string& path,
+                          const std::vector<graph::weighted_edge>& edges) {
+  auto f = open_or_throw(path, "w");
+  std::fprintf(f.get(), "WeightedEdgeArray\n");
+  for (const auto& e : edges) std::fprintf(f.get(), "%u %u %u\n", e.u, e.v, e.w);
+}
+
+std::vector<graph::weighted_edge> read_weighted_edges(const std::string& path) {
+  auto f = open_or_throw(path, "r");
+  expect_header(f.get(), "WeightedEdgeArray", path);
+  std::vector<graph::weighted_edge> out;
+  graph::weighted_edge e{0, 0, 0};
+  for (;;) {
+    const int got = std::fscanf(f.get(), "%u %u %u", &e.u, &e.v, &e.w);
+    if (got == 3) {
+      out.push_back(e);
+    } else if (got == EOF && std::feof(f.get())) {
+      return out;
+    } else {
+      malformed(path);
+    }
+  }
+}
+
+// --- geometry ----------------------------------------------------------------
+
+void write_points(const std::string& path, const std::vector<geometry::point2d>& pts) {
+  auto f = open_or_throw(path, "w");
+  std::fprintf(f.get(), "pbbs_sequencePoint2d\n");
+  for (const auto& p : pts) std::fprintf(f.get(), "%.17g %.17g\n", p.x, p.y);
+}
+
+std::vector<geometry::point2d> read_points(const std::string& path) {
+  auto f = open_or_throw(path, "r");
+  expect_header(f.get(), "pbbs_sequencePoint2d", path);
+  std::vector<geometry::point2d> out;
+  geometry::point2d p{0, 0};
+  for (;;) {
+    const int got = std::fscanf(f.get(), "%lf %lf", &p.x, &p.y);
+    if (got == 2) {
+      out.push_back(p);
+    } else if (got == EOF && std::feof(f.get())) {
+      return out;
+    } else {
+      malformed(path);
+    }
+  }
+}
+
+// --- text --------------------------------------------------------------------
+
+void write_text(const std::string& path, const std::string& text) {
+  auto f = open_or_throw(path, "wb");
+  if (std::fwrite(text.data(), 1, text.size(), f.get()) != text.size()) {
+    throw std::runtime_error("phch::io: short write to " + path);
+  }
+}
+
+std::string read_text(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  if (size < 0) malformed(path);
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::string out(static_cast<std::size_t>(size), '\0');
+  if (std::fread(out.data(), 1, out.size(), f.get()) != out.size()) malformed(path);
+  return out;
+}
+
+}  // namespace phch::io

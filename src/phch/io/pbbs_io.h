@@ -1,0 +1,47 @@
+// File I/O in the PBBS benchmark-suite formats, so inputs and outputs can be
+// exchanged with the original Problem Based Benchmark Suite tooling:
+//
+//   sequenceInt          "sequenceInt\n" then one integer per line
+//   sequenceDouble       "sequenceDouble\n" then one double per line
+//   EdgeArray            "EdgeArray\n" then "u v" per line
+//   WeightedEdgeArray    "WeightedEdgeArray\n" then "u v w" per line
+//   pbbs_sequencePoint2d "pbbs_sequencePoint2d\n" then "x y" per line
+//
+// Readers validate the header and throw std::runtime_error with the file
+// name on malformed input. Writers are deterministic (fixed formatting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/geometry/point.h"
+#include "phch/graph/graph.h"
+
+namespace phch::io {
+
+// --- sequences ---------------------------------------------------------------
+void write_int_seq(const std::string& path, const std::vector<std::uint64_t>& seq);
+std::vector<std::uint64_t> read_int_seq(const std::string& path);
+
+void write_pair_seq(const std::string& path, const std::vector<kv64>& seq);
+std::vector<kv64> read_pair_seq(const std::string& path);
+
+// --- graphs ------------------------------------------------------------------
+void write_edges(const std::string& path, const std::vector<graph::edge>& edges);
+std::vector<graph::edge> read_edges(const std::string& path);
+
+void write_weighted_edges(const std::string& path,
+                          const std::vector<graph::weighted_edge>& edges);
+std::vector<graph::weighted_edge> read_weighted_edges(const std::string& path);
+
+// --- geometry ----------------------------------------------------------------
+void write_points(const std::string& path, const std::vector<geometry::point2d>& pts);
+std::vector<geometry::point2d> read_points(const std::string& path);
+
+// --- plain text (suffix-tree corpora) ----------------------------------------
+void write_text(const std::string& path, const std::string& text);
+std::string read_text(const std::string& path);
+
+}  // namespace phch::io

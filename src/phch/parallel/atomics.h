@@ -1,0 +1,104 @@
+// Atomic building blocks used by the hash tables and applications.
+//
+//  - cas(loc, old, new): the compare-and-swap from the paper's pseudocode,
+//    for any trivially-copyable 1/2/4/8/16-byte type (16-byte via
+//    cmpxchg16b, enabled with -mcx16).
+//  - write_min / write_max: the WRITEMIN "priority update" of Shun et al.
+//    (SPAA'13), used by Delaunay refinement, BFS and spanning forest for
+//    deterministic conflict resolution.
+//  - fetch_add wrapper (the `xadd` the paper mentions for linearHash-ND's
+//    combining path).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace phch {
+
+namespace detail {
+template <int Size>
+struct uint_of_size;
+template <>
+struct uint_of_size<1> { using type = std::uint8_t; };
+template <>
+struct uint_of_size<2> { using type = std::uint16_t; };
+template <>
+struct uint_of_size<4> { using type = std::uint32_t; };
+template <>
+struct uint_of_size<8> { using type = std::uint64_t; };
+template <>
+struct uint_of_size<16> { using type = unsigned __int128; };
+
+template <typename T>
+using uint_for = typename uint_of_size<static_cast<int>(sizeof(T))>::type;
+}  // namespace detail
+
+// Atomically: if (*loc == old_v) { *loc = new_v; return true; } else false.
+// T must be trivially copyable and of width 1, 2, 4, 8, or 16 bytes.
+template <typename T>
+inline bool cas(T* loc, T old_v, T new_v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  using U = detail::uint_for<T>;
+  U expected;
+  U desired;
+  std::memcpy(&expected, &old_v, sizeof(T));
+  std::memcpy(&desired, &new_v, sizeof(T));
+  return __atomic_compare_exchange_n(reinterpret_cast<U*>(loc), &expected, desired,
+                                     /*weak=*/false, __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+}
+
+// Atomic load with sequential consistency (paired with cas above; the
+// pseudocode reads M[i] directly, so this is the "plain read" of the paper
+// made explicit).
+template <typename T>
+inline T atomic_load(const T* loc) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  using U = detail::uint_for<T>;
+  const U raw = __atomic_load_n(reinterpret_cast<const U*>(loc), __ATOMIC_SEQ_CST);
+  T out;
+  std::memcpy(&out, &raw, sizeof(T));
+  return out;
+}
+
+template <typename T>
+inline void atomic_store(T* loc, T v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  using U = detail::uint_for<T>;
+  U raw;
+  std::memcpy(&raw, &v, sizeof(T));
+  __atomic_store_n(reinterpret_cast<U*>(loc), raw, __ATOMIC_SEQ_CST);
+}
+
+// WRITEMIN: stores val at loc iff val < *loc (by Less); returns true iff it
+// performed the update. Deterministic regardless of arrival order: the
+// minimum value wins.
+template <typename T, typename Less = std::less<T>>
+inline bool write_min(T* loc, T val, Less less = Less{}) noexcept {
+  T cur = atomic_load(loc);
+  while (less(val, cur)) {
+    if (cas(loc, cur, val)) return true;
+    cur = atomic_load(loc);
+  }
+  return false;
+}
+
+// WRITEMAX: dual of write_min; the maximum value wins.
+template <typename T, typename Less = std::less<T>>
+inline bool write_max(T* loc, T val, Less less = Less{}) noexcept {
+  T cur = atomic_load(loc);
+  while (less(cur, val)) {
+    if (cas(loc, cur, val)) return true;
+    cur = atomic_load(loc);
+  }
+  return false;
+}
+
+// Atomic fetch-and-add (hardware xadd for integral T).
+template <typename T>
+inline T fetch_add(T* loc, T delta) noexcept {
+  return __atomic_fetch_add(loc, delta, __ATOMIC_SEQ_CST);
+}
+
+}  // namespace phch

@@ -1,0 +1,107 @@
+// Data-parallel loop constructs on top of the scheduler.
+//
+//   parallel_for(lo, hi, f)            f(i) for each i in [lo, hi)
+//   parallel_for(lo, hi, f, grain)     explicit chunk size
+//   blocked_for(lo, hi, bsize, g)      g(block_id, block_lo, block_hi)
+//   par_do(a, b)                       runs a() and b() (possibly) in parallel
+//
+// Iterations are distributed dynamically: participants claim chunks of
+// `grain` iterations from a shared atomic cursor, so irregular per-iteration
+// costs balance automatically. Exceptions thrown by the body are captured
+// and rethrown on the calling thread (first-captured wins).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <utility>
+
+#include "phch/parallel/scheduler.h"
+
+namespace phch {
+
+inline constexpr std::size_t kDefaultGrainTarget = 8;  // chunks per worker
+
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, F&& f, std::size_t grain = 0) {
+  if (hi <= lo) return;
+  const std::size_t n = hi - lo;
+  scheduler& sched = scheduler::get();
+  const std::size_t p = static_cast<std::size_t>(sched.num_workers());
+  if (grain == 0) grain = (n + p * kDefaultGrainTarget - 1) / (p * kDefaultGrainTarget);
+  if (grain < 1) grain = 1;
+  if (p == 1 || n <= grain || scheduler::in_parallel()) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{lo};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::atomic_flag error_claimed = ATOMIC_FLAG_INIT;
+
+  sched.execute([&](int) {
+    for (;;) {
+      const std::size_t start = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (start >= hi || failed.load(std::memory_order_relaxed)) return;
+      const std::size_t end = start + grain < hi ? start + grain : hi;
+      try {
+        for (std::size_t i = start; i < end; ++i) f(i);
+      } catch (...) {
+        if (!error_claimed.test_and_set()) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (error) std::rethrow_exception(error);
+}
+
+// Calls g(block_id, block_lo, block_hi) for consecutive blocks of size
+// `bsize` covering [lo, hi). Useful for two-pass algorithms (scan, pack)
+// that need a deterministic block decomposition.
+template <typename G>
+void blocked_for(std::size_t lo, std::size_t hi, std::size_t bsize, G&& g) {
+  if (hi <= lo) return;
+  if (bsize < 1) bsize = 1;
+  const std::size_t num_blocks = (hi - lo + bsize - 1) / bsize;
+  parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        const std::size_t s = lo + b * bsize;
+        const std::size_t e = s + bsize < hi ? s + bsize : hi;
+        g(b, s, e);
+      },
+      1);
+}
+
+// Runs two thunks, in parallel when a pool is available.
+template <typename A, typename B>
+void par_do(A&& a, B&& b) {
+  scheduler& sched = scheduler::get();
+  if (sched.num_workers() == 1 || scheduler::in_parallel()) {
+    a();
+    b();
+    return;
+  }
+  std::exception_ptr error;
+  std::atomic_flag error_claimed = ATOMIC_FLAG_INIT;
+  std::atomic<int> next{0};
+  sched.execute([&](int) {
+    for (;;) {
+      const int task = next.fetch_add(1, std::memory_order_relaxed);
+      if (task > 1) return;
+      try {
+        if (task == 0)
+          a();
+        else
+          b();
+      } catch (...) {
+        if (!error_claimed.test_and_set()) error = std::current_exception();
+      }
+    }
+  });
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace phch

@@ -1,0 +1,112 @@
+#include "phch/parallel/scheduler.h"
+
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace phch {
+
+namespace {
+thread_local bool tl_in_parallel = false;
+
+int default_workers() {
+  if (const char* env = std::getenv("PHCH_THREADS")) {
+    const int p = std::atoi(env);
+    if (p >= 1) return p;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+scheduler& scheduler::get() {
+  static scheduler instance;
+  return instance;
+}
+
+scheduler::scheduler() : num_workers_(default_workers()) { start_workers(); }
+
+scheduler::~scheduler() { stop_workers(); }
+
+bool scheduler::in_parallel() noexcept { return tl_in_parallel; }
+
+void scheduler::start_workers() {
+  threads_.reserve(static_cast<std::size_t>(num_workers_ > 0 ? num_workers_ - 1 : 0));
+  // Workers must start from the *current* epoch: the counter survives pool
+  // restarts, and a fresh worker seeded with epoch 0 would treat the stale
+  // counter as a pending job and invoke a null function.
+  const std::uint64_t start_epoch = epoch_;
+  for (int id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id, start_epoch] { worker_loop(id, start_epoch); });
+  }
+}
+
+void scheduler::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    shutdown_ = false;
+  }
+}
+
+void scheduler::set_num_workers(int p) {
+  if (p < 1) throw std::invalid_argument("scheduler: worker count must be >= 1");
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  stop_workers();
+  num_workers_ = p;
+  start_workers();
+}
+
+void scheduler::worker_loop(int id, std::uint64_t start_epoch) {
+  std::uint64_t seen_epoch = start_epoch;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    tl_in_parallel = true;
+    (*job)(id);
+    tl_in_parallel = false;
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void scheduler::execute(const std::function<void(int)>& f) {
+  if (tl_in_parallel || num_workers_ == 1) {
+    // Nested job (or no pool): run the whole job inline on this thread.
+    f(0);
+    return;
+  }
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    job_ = &f;
+    pending_ = num_workers_ - 1;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  tl_in_parallel = true;
+  f(0);
+  tl_in_parallel = false;
+  {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace phch

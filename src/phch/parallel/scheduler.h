@@ -1,0 +1,74 @@
+// Fork-join scheduler: a fixed pool of worker threads executing one
+// data-parallel job at a time. This replaces the Cilk Plus runtime used by
+// the paper; the programming model exposed to the rest of the library is the
+// same flat fork-join model (parallel_for + primitives built on it).
+//
+// Model
+//  - `scheduler::get()` lazily spawns `num_workers() - 1` threads; the
+//    calling thread acts as worker 0 of every job.
+//  - `execute(f)` runs `f(worker_id)` on every worker and returns when all
+//    are done. Jobs are serialized: nested or concurrent `execute` calls run
+//    the job inline on the calling thread instead (see `in_parallel()`),
+//    which keeps the pool deadlock-free without a work-stealing deque.
+//  - Worker count comes from the PHCH_THREADS environment variable, falling
+//    back to std::thread::hardware_concurrency(). Benchmarks may change it
+//    at a quiescent point with `set_num_workers`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phch {
+
+class scheduler {
+ public:
+  // Global scheduler instance (workers are started on first use).
+  static scheduler& get();
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+  ~scheduler();
+
+  // Total parallelism of a job, including the calling thread. Always >= 1.
+  int num_workers() const noexcept { return num_workers_; }
+
+  // Runs f(0) on the calling thread and f(1..p-1) on the pool, returning
+  // once every invocation has finished. Exceptions thrown by any invocation
+  // are rethrown on the caller (the first one captured wins).
+  void execute(const std::function<void(int)>& f);
+
+  // True while the current thread is executing inside a job; used to run
+  // nested parallel constructs inline.
+  static bool in_parallel() noexcept;
+
+  // Re-sizes the pool. Must be called at a quiescent point (no job running).
+  void set_num_workers(int p);
+
+ private:
+  scheduler();
+  void start_workers();
+  void stop_workers();
+  void worker_loop(int id, std::uint64_t start_epoch);
+
+  int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex job_mutex_;  // serializes whole jobs from distinct user threads
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+// Convenience accessor used throughout the library.
+inline int num_workers() { return scheduler::get().num_workers(); }
+
+}  // namespace phch

@@ -1,0 +1,99 @@
+// Parallel sorting: comparison sort (blocked merge sort) and a stable
+// LSD radix sort for bounded integer keys. Both are deterministic.
+//
+// The comparison sort splits the input into 2^k blocks, sorts each block
+// with std::sort in parallel, then performs log rounds of pairwise merges
+// (each merge itself runs on one worker — adequate parallelism for the
+// block counts we use, and fully deterministic).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "phch/parallel/parallel_for.h"
+#include "phch/parallel/primitives.h"
+
+namespace phch {
+
+template <typename T, typename Comp = std::less<T>>
+void parallel_sort(std::vector<T>& a, Comp comp = Comp{}) {
+  const std::size_t n = a.size();
+  const std::size_t p = static_cast<std::size_t>(num_workers());
+  if (n < 4096 || p == 1 || scheduler::in_parallel()) {
+    std::sort(a.begin(), a.end(), comp);
+    return;
+  }
+  // Round block count up to a power of two so merge rounds pair evenly.
+  std::size_t num_blocks = 1;
+  while (num_blocks < 2 * p) num_blocks <<= 1;
+  const std::size_t bsize = (n + num_blocks - 1) / num_blocks;
+
+  auto block_begin = [&](std::size_t b) { return std::min(b * bsize, n); };
+  parallel_for(
+      0, num_blocks,
+      [&](std::size_t b) {
+        std::sort(a.begin() + static_cast<std::ptrdiff_t>(block_begin(b)),
+                  a.begin() + static_cast<std::ptrdiff_t>(block_begin(b + 1)), comp);
+      },
+      1);
+  for (std::size_t width = 1; width < num_blocks; width <<= 1) {
+    parallel_for(
+        0, num_blocks / (2 * width),
+        [&](std::size_t pair) {
+          const std::size_t lo = block_begin(pair * 2 * width);
+          const std::size_t mid = block_begin(pair * 2 * width + width);
+          const std::size_t hi = block_begin(pair * 2 * width + 2 * width);
+          std::inplace_merge(a.begin() + static_cast<std::ptrdiff_t>(lo),
+                             a.begin() + static_cast<std::ptrdiff_t>(mid),
+                             a.begin() + static_cast<std::ptrdiff_t>(hi), comp);
+        },
+        1);
+  }
+}
+
+template <typename T, typename Comp = std::less<T>>
+std::vector<T> sorted(std::vector<T> a, Comp comp = Comp{}) {
+  parallel_sort(a, comp);
+  return a;
+}
+
+// Stable counting sort of `in` by key(x) in [0, num_buckets). Parallel
+// per-block histograms, a column-major prefix sum over (bucket, block), and
+// a stable scatter.
+template <typename T, typename Key>
+std::vector<T> stable_counting_sort(const std::vector<T>& in, std::size_t num_buckets,
+                                    Key&& key) {
+  const std::size_t n = in.size();
+  std::vector<T> out(n);
+  if (n == 0) return out;
+  const std::size_t bsize = n / detail::num_scan_blocks(n) + 1;
+  const std::size_t num_blocks = (n + bsize - 1) / bsize;
+  // counts[bucket * num_blocks + block]: column-major so the serial scan
+  // visits all blocks of bucket 0, then bucket 1, ... giving stability.
+  std::vector<std::size_t> counts(num_buckets * num_blocks, 0);
+  blocked_for(0, n, bsize, [&](std::size_t b, std::size_t s, std::size_t e) {
+    for (std::size_t i = s; i < e; ++i) counts[key(in[i]) * num_blocks + b]++;
+  });
+  scan_add_inplace(counts);
+  blocked_for(0, n, bsize, [&](std::size_t b, std::size_t s, std::size_t e) {
+    std::vector<std::size_t> offsets(num_buckets);
+    for (std::size_t k = 0; k < num_buckets; ++k) offsets[k] = counts[k * num_blocks + b];
+    for (std::size_t i = s; i < e; ++i) out[offsets[key(in[i])]++] = in[i];
+  });
+  return out;
+}
+
+// Stable LSD radix sort by key(x), an unsigned integer < 2^bits.
+template <typename T, typename Key>
+void radix_sort(std::vector<T>& a, int bits, Key&& key) {
+  constexpr int kRadixBits = 8;
+  for (int shift = 0; shift < bits; shift += kRadixBits) {
+    a = stable_counting_sort(a, std::size_t{1} << kRadixBits, [&](const T& x) {
+      return static_cast<std::size_t>((key(x) >> shift) & ((1u << kRadixBits) - 1));
+    });
+  }
+}
+
+}  // namespace phch

@@ -1,0 +1,90 @@
+// speculative_for: the deterministic-reservations loop of Blelloch, Fineman,
+// Gibbons & Shun (PPoPP'12), which the paper's applications (§5) instantiate
+// by hand. Iterates a prioritized loop in parallel rounds:
+//
+//   step.reserve(i) -> bool   marks shared state with WRITEMIN of priority i;
+//                             returns false to drop the iterate entirely
+//   step.commit(i)  -> bool   returns true iff iterate i won all its
+//                             reservations and performed its update
+//
+// Each round runs reserve over a prefix of the remaining iterates (all of
+// them when granularity = 0), then commit; losers retry next round. Because
+// reservations are WRITEMINs of iterate priorities, the winners — and hence
+// the final state — are independent of thread schedule: the loop behaves as
+// if iterates executed in priority order whenever the step's semantics are
+// priority-monotone.
+//
+// Returns the number of rounds executed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "phch/parallel/atomics.h"
+#include "phch/parallel/primitives.h"
+
+namespace phch {
+
+// A reservation cell in the PPoPP'12 style: reserve() WRITEMINs an iterate
+// priority, check() asks whether the caller still holds the cell, and
+// check_reset()/reset() release it. The commit protocol must release every
+// cell the iterate still holds (win or lose), so no stale priority can
+// starve later rounds.
+class reservation {
+ public:
+  static constexpr std::size_t kFree = std::numeric_limits<std::size_t>::max();
+
+  void reserve(std::size_t i) noexcept { write_min(&r_, i); }
+  bool check(std::size_t i) const noexcept { return atomic_load(&r_) == i; }
+  bool reserved() const noexcept { return atomic_load(&r_) != kFree; }
+  void reset() noexcept { atomic_store(&r_, kFree); }
+
+  // Releases the cell iff the caller holds it; returns whether it did.
+  bool check_reset(std::size_t i) noexcept {
+    if (check(i)) {
+      reset();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::size_t r_ = kFree;
+};
+
+template <typename Step>
+std::size_t speculative_for(Step& step, std::size_t lo, std::size_t hi,
+                            std::size_t granularity = 0) {
+  std::vector<std::size_t> live = tabulate(hi - lo, [&](std::size_t i) { return lo + i; });
+  std::size_t rounds = 0;
+  while (!live.empty()) {
+    ++rounds;
+    const std::size_t round_size =
+        granularity == 0 ? live.size() : std::min(granularity, live.size());
+    std::vector<std::uint8_t> keep(round_size, 0);
+    parallel_for(0, round_size, [&](std::size_t k) {
+      keep[k] = step.reserve(live[k]) ? 1 : 0;
+    });
+    std::vector<std::uint8_t> done(round_size, 0);
+    parallel_for(0, round_size, [&](std::size_t k) {
+      if (keep[k]) done[k] = step.commit(live[k]) ? 1 : 0;
+    });
+    // Retry iterates that reserved but failed to commit; keep the deferred
+    // tail (beyond round_size) as is.
+    std::vector<std::size_t> retry = pack(
+        round_size, [&](std::size_t k) { return keep[k] && !done[k]; },
+        [&](std::size_t k) { return live[k]; });
+    if (round_size == live.size()) {
+      live = std::move(retry);
+    } else {
+      retry.insert(retry.end(), live.begin() + static_cast<std::ptrdiff_t>(round_size),
+                   live.end());
+      live = std::move(retry);
+    }
+  }
+  return rounds;
+}
+
+}  // namespace phch

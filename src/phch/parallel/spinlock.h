@@ -1,0 +1,44 @@
+// Test-and-test-and-set spinlock used by the lock-based baseline tables
+// (cuckoo, hopscotch, chained). Meets the Lockable requirements so it works
+// with std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace phch {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#endif
+}
+
+class spinlock {
+ public:
+  spinlock() noexcept = default;
+  spinlock(const spinlock&) = delete;
+  spinlock& operator=(const spinlock&) = delete;
+
+  void lock() noexcept {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace phch

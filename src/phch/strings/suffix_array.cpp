@@ -1,0 +1,169 @@
+#include "phch/strings/suffix_array.h"
+
+#include <algorithm>
+
+namespace phch::strings {
+
+namespace {
+
+// DC3 / skew algorithm over an integer alphabet [1, K]. `s` must have three
+// zero-padding entries past `n`. Classic formulation (Kärkkäinen & Sanders,
+// ICALP 2003).
+void radix_pass(const std::vector<std::uint32_t>& src, std::vector<std::uint32_t>& dst,
+                const std::uint32_t* key, std::size_t n, std::uint32_t K) {
+  std::vector<std::uint32_t> count(K + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) count[key[src[i]] + 1]++;
+  for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  for (std::size_t i = 0; i < n; ++i) dst[count[key[src[i]]]++] = src[i];
+}
+
+void dc3(const std::vector<std::uint32_t>& s, std::vector<std::uint32_t>& sa,
+         std::size_t n, std::uint32_t K) {
+  if (n == 0) return;
+  if (n == 1) {
+    sa[0] = 0;
+    return;
+  }
+  if (n == 2) {
+    // Suffix 1 precedes suffix 0 iff s[1] < s[0], or s[1] == s[0] and the
+    // shorter suffix wins as a proper prefix.
+    if (s[1] <= s[0]) {
+      sa[0] = 1;
+      sa[1] = 0;
+    } else {
+      sa[0] = 0;
+      sa[1] = 1;
+    }
+    return;
+  }
+
+  const std::size_t n0 = (n + 2) / 3;
+  const std::size_t n1 = (n + 1) / 3;
+  const std::size_t n2 = n / 3;
+  const std::size_t n02 = n0 + n2;
+
+  std::vector<std::uint32_t> s12(n02 + 3, 0);
+  std::vector<std::uint32_t> sa12(n02 + 3, 0);
+  // Positions i mod 3 != 0. (The n0 - n1 padding suffix aligns mod-1
+  // positions when n % 3 == 1.)
+  {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < n + (n0 - n1); ++i) {
+      if (i % 3 != 0) s12[j++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  // Radix sort the mod-1/2 triples.
+  radix_pass(s12, sa12, s.data() + 2, n02, K);
+  std::swap(s12, sa12);
+  radix_pass(s12, sa12, s.data() + 1, n02, K);
+  std::swap(s12, sa12);
+  radix_pass(s12, sa12, s.data(), n02, K);
+
+  // Name the triples.
+  std::uint32_t name = 0;
+  std::uint32_t c0 = ~0u;
+  std::uint32_t c1 = ~0u;
+  std::uint32_t c2 = ~0u;
+  std::vector<std::uint32_t> r12(n02 + 3, 0);
+  for (std::size_t i = 0; i < n02; ++i) {
+    const std::uint32_t p = sa12[i];
+    if (s[p] != c0 || s[p + 1] != c1 || s[p + 2] != c2) {
+      ++name;
+      c0 = s[p];
+      c1 = s[p + 1];
+      c2 = s[p + 2];
+    }
+    if (p % 3 == 1) {
+      r12[p / 3] = name;  // mod-1 block
+    } else {
+      r12[p / 3 + n0] = name;  // mod-2 block
+    }
+  }
+
+  if (name < n02) {
+    dc3(r12, sa12, n02, name);
+    for (std::size_t i = 0; i < n02; ++i) r12[sa12[i]] = static_cast<std::uint32_t>(i + 1);
+  } else {
+    for (std::size_t i = 0; i < n02; ++i) sa12[r12[i] - 1] = static_cast<std::uint32_t>(i);
+  }
+
+  // Sort the mod-0 suffixes by (char, rank of following mod-1 suffix).
+  std::vector<std::uint32_t> s0(n0);
+  std::vector<std::uint32_t> sa0(n0);
+  {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < n02; ++i) {
+      if (sa12[i] < n0) s0[j++] = 3 * sa12[i];
+    }
+  }
+  radix_pass(s0, sa0, s.data(), n0, K);
+
+  // Merge.
+  auto get_i = [&](std::size_t t) {
+    return sa12[t] < n0 ? sa12[t] * 3 + 1 : (sa12[t] - n0) * 3 + 2;
+  };
+  auto leq2 = [&](std::uint32_t a1, std::uint32_t a2, std::uint32_t b1, std::uint32_t b2) {
+    return a1 < b1 || (a1 == b1 && a2 <= b2);
+  };
+  auto leq3 = [&](std::uint32_t a1, std::uint32_t a2, std::uint32_t a3, std::uint32_t b1,
+                  std::uint32_t b2, std::uint32_t b3) {
+    return a1 < b1 || (a1 == b1 && leq2(a2, a3, b2, b3));
+  };
+  std::size_t p = 0;
+  std::size_t t = n0 - n1;
+  std::size_t k = 0;
+  while (t < n02 && p < n0) {
+    const std::uint32_t i = get_i(t);
+    const std::uint32_t j = sa0[p];
+    const bool take12 =
+        (sa12[t] < n0)
+            ? leq2(s[i], r12[sa12[t] + n0], s[j], r12[j / 3])
+            : leq3(s[i], s[i + 1], r12[sa12[t] - n0 + 1], s[j], s[j + 1],
+                   r12[j / 3 + n0]);
+    if (take12) {
+      sa[k++] = i;
+      ++t;
+    } else {
+      sa[k++] = j;
+      ++p;
+    }
+  }
+  while (p < n0) sa[k++] = sa0[p++];
+  while (t < n02) sa[k++] = get_i(t++);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> suffix_array(const std::string& s) {
+  const std::size_t n = s.size();
+  std::vector<std::uint32_t> text(n + 3, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    text[i] = static_cast<std::uint32_t>(static_cast<unsigned char>(s[i])) + 1;
+  }
+  std::vector<std::uint32_t> sa(n + 3, 0);
+  dc3(text, sa, n, 257);
+  sa.resize(n);
+  return sa;
+}
+
+std::vector<std::uint32_t> lcp_array(const std::string& s,
+                                     const std::vector<std::uint32_t>& sa) {
+  const std::size_t n = s.size();
+  std::vector<std::uint32_t> rank(n);
+  for (std::size_t i = 0; i < n; ++i) rank[sa[i]] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> lcp(n, 0);
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rank[i] > 0) {
+      const std::size_t j = sa[rank[i] - 1];
+      while (i + h < n && j + h < n && s[i + h] == s[j + h]) ++h;
+      lcp[rank[i]] = static_cast<std::uint32_t>(h);
+      if (h > 0) --h;
+    } else {
+      h = 0;
+    }
+  }
+  return lcp;
+}
+
+}  // namespace phch::strings

@@ -1,0 +1,20 @@
+// Suffix array (Kärkkäinen–Sanders DC3/skew algorithm) and LCP array
+// (Kasai). Substrate for the suffix-tree application (§5): the paper builds
+// suffix trees whose per-node child maps live in a phase-concurrent hash
+// table; we construct the tree from SA + LCP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phch::strings {
+
+// Suffix array of s (all characters allowed, including NUL).
+std::vector<std::uint32_t> suffix_array(const std::string& s);
+
+// lcp[i] = longest common prefix of suffixes sa[i-1] and sa[i] (lcp[0] = 0).
+std::vector<std::uint32_t> lcp_array(const std::string& s,
+                                     const std::vector<std::uint32_t>& sa);
+
+}  // namespace phch::strings

@@ -1,0 +1,180 @@
+// Suffix tree with hash-table child maps (§5 of the paper).
+//
+// The tree skeleton (nodes, parents, string depths) is built sequentially
+// from the suffix array + LCP array with the classic stack algorithm; the
+// paper's timed kernels are then
+//   - *insert*: populating a phase-concurrent hash table with one entry per
+//     tree edge, keyed by (parent node, first edge character), in parallel;
+//   - *search*: walking patterns from the root with hash-table finds.
+// This split mirrors the paper's "parallel insertions of nodes into a
+// suffix tree and parallel searches", a natural two-phase use of the table.
+//
+// A NUL sentinel is appended internally so no suffix is a proper prefix of
+// another (every leaf hangs off a non-empty edge).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/strings/suffix_array.h"
+
+namespace phch::strings {
+
+struct st_node {
+  std::uint32_t parent;
+  std::uint32_t depth;  // string depth (characters from the root)
+  std::uint32_t rep;    // start index of a suffix passing through this node
+};
+
+// Tree skeleton: node 0 is the root; leaves and internal nodes share the
+// array. Built once, then populated into any table type.
+struct suffix_tree_skeleton {
+  std::string text;  // input plus NUL sentinel
+  std::vector<st_node> nodes;
+
+  static suffix_tree_skeleton build(std::string_view input) {
+    suffix_tree_skeleton st;
+    st.text.assign(input);
+    st.text.push_back('\0');
+    const std::string& s = st.text;
+    const std::size_t n = s.size();
+    const auto sa = suffix_array(s);
+    const auto lcp = lcp_array(s, sa);
+
+    st.nodes.reserve(2 * n);
+    st.nodes.push_back(st_node{0, 0, sa[0]});  // root
+    std::vector<std::uint32_t> stack{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t l = (i == 0) ? 0 : lcp[i];
+      std::uint32_t last = UINT32_MAX;
+      while (st.nodes[stack.back()].depth > l) {
+        last = stack.back();
+        stack.pop_back();
+      }
+      std::uint32_t attach = stack.back();
+      if (st.nodes[attach].depth < l) {
+        // Split: a new internal node of depth l between `attach` and the
+        // last popped node.
+        const std::uint32_t u = static_cast<std::uint32_t>(st.nodes.size());
+        st.nodes.push_back(st_node{attach, l, st.nodes[last].rep});
+        st.nodes[last].parent = u;
+        stack.push_back(u);
+        attach = u;
+      } else if (last != UINT32_MAX) {
+        st.nodes[last].parent = attach;
+      }
+      const std::uint32_t leaf = static_cast<std::uint32_t>(st.nodes.size());
+      st.nodes.push_back(
+          st_node{attach, static_cast<std::uint32_t>(n - sa[i]), sa[i]});
+      stack.push_back(leaf);
+    }
+    return st;
+  }
+
+  std::size_t num_edges() const noexcept { return nodes.size() - 1; }
+
+  // Hash key of the edge entering node v: (parent id, first edge char).
+  std::uint64_t edge_key_of(std::uint32_t v) const noexcept {
+    const st_node& nd = nodes[v];
+    const unsigned char c =
+        static_cast<unsigned char>(text[nd.rep + nodes[nd.parent].depth]);
+    return (static_cast<std::uint64_t>(nd.parent) << 8) | c;
+  }
+
+  // Number of leaves under each node (a leaf's count is 1). Since a parent
+  // is always strictly shallower than its children, aggregating in order of
+  // decreasing depth propagates counts in one pass. The root's count is the
+  // number of suffixes (text length + sentinel).
+  std::vector<std::uint32_t> subtree_leaf_counts() const {
+    const std::size_t m = nodes.size();
+    std::vector<std::uint32_t> child_count(m, 0);
+    for (std::size_t v = 1; v < m; ++v) child_count[nodes[v].parent]++;
+    std::vector<std::uint32_t> counts(m);
+    for (std::size_t v = 0; v < m; ++v) counts[v] = child_count[v] == 0 ? 1 : 0;
+    std::vector<std::uint32_t> order(m);
+    for (std::size_t v = 0; v < m; ++v) order[v] = static_cast<std::uint32_t>(v);
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return nodes[a].depth > nodes[b].depth;
+    });
+    for (const std::uint32_t v : order) {
+      if (v != 0) counts[nodes[v].parent] += counts[v];
+    }
+    return counts;
+  }
+};
+
+// The queryable tree: skeleton + a populated child-map table. Table must
+// store kv64 entries (pair_entry traits); edge keys are unique so the
+// combine function is never exercised.
+template <typename Table>
+class suffix_tree {
+ public:
+  explicit suffix_tree(std::string_view input)
+      : skel_(suffix_tree_skeleton::build(input)),
+        leaf_counts_(skel_.subtree_leaf_counts()),
+        table_(table_capacity(skel_.num_edges())) {
+    populate();
+  }
+
+  // Separate-phase constructor for benchmarks: build the skeleton first
+  // (untimed), then call populate() (the timed insert kernel).
+  explicit suffix_tree(suffix_tree_skeleton skel)
+      : skel_(std::move(skel)),
+        leaf_counts_(skel_.subtree_leaf_counts()),
+        table_(table_capacity(skel_.num_edges())) {}
+
+  // Parallel insertion of every tree edge into the table (insert phase).
+  void populate() {
+    parallel_for(1, skel_.nodes.size(), [&](std::size_t v) {
+      table_.insert(kv64{skel_.edge_key_of(static_cast<std::uint32_t>(v)),
+                         static_cast<std::uint64_t>(v)});
+    });
+  }
+
+  // True iff `pattern` occurs in the text (find phase).
+  bool search(std::string_view pattern) const { return occurrences(pattern) > 0; }
+
+  // Number of occurrences of `pattern` in the text: the leaf count of the
+  // subtree the pattern walk lands in (find phase).
+  std::size_t occurrences(std::string_view pattern) const {
+    const std::string& s = skel_.text;
+    std::uint32_t cur = 0;
+    std::size_t d = 0;
+    while (d < pattern.size()) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(cur) << 8) |
+                                static_cast<unsigned char>(pattern[d]);
+      const kv64 e = table_.find(key);
+      if (pair_entry<>::is_empty(e)) return 0;
+      const std::uint32_t child = static_cast<std::uint32_t>(e.v);
+      const st_node& nd = skel_.nodes[child];
+      const std::size_t edge_end = std::min<std::size_t>(nd.depth, pattern.size());
+      for (std::size_t t = d + 1; t < edge_end; ++t) {
+        if (s[nd.rep + t] != pattern[t]) return 0;
+      }
+      if (pattern.size() <= nd.depth) return leaf_counts_[child];
+      cur = child;
+      d = nd.depth;
+    }
+    return leaf_counts_[cur];
+  }
+
+  const suffix_tree_skeleton& skeleton() const noexcept { return skel_; }
+  const Table& table() const noexcept { return table_; }
+
+  // Paper's sizing: twice the number of nodes, rounded to a power of two.
+  static std::size_t table_capacity(std::size_t edges) noexcept {
+    return 2 * edges + 4;
+  }
+
+ private:
+  suffix_tree_skeleton skel_;
+  std::vector<std::uint32_t> leaf_counts_;
+  Table table_;
+};
+
+}  // namespace phch::strings

@@ -1,0 +1,64 @@
+// Minimal command-line option parser for the example tools:
+//   cmdline cl(argc, argv);
+//   auto n = cl.get_long("-n", 1000000);
+//   auto dist = cl.get_string("-dist", "uniform");
+//   if (cl.has("-verify")) ...;
+// Positional arguments are available via positional(i).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace phch {
+
+class cmdline {
+ public:
+  cmdline(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(const std::string& flag) const {
+    for (const auto& a : args_) {
+      if (a == flag) return true;
+    }
+    return false;
+  }
+
+  std::string get_string(const std::string& flag, const std::string& fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == flag) return args_[i + 1];
+    }
+    return fallback;
+  }
+
+  long long get_long(const std::string& flag, long long fallback) const {
+    const std::string v = get_string(flag, "");
+    if (v.empty()) return fallback;
+    return std::strtoll(v.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& flag, double fallback) const {
+    const std::string v = get_string(flag, "");
+    if (v.empty()) return fallback;
+    return std::strtod(v.c_str(), nullptr);
+  }
+
+  // i-th argument that is not a flag ("-x") and not a flag's value.
+  std::string positional(std::size_t idx, const std::string& fallback = "") const {
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!args_[i].empty() && args_[i][0] == '-') {
+        ++i;  // skip the flag's value
+        continue;
+      }
+      if (seen++ == idx) return args_[i];
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace phch

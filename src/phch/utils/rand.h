@@ -1,0 +1,48 @@
+// Deterministic pseudo-random utilities in the PBBS style: a strong 64-bit
+// mixing hash and a forkable generator, so parallel loops can draw
+// independent deterministic streams by indexing (no shared RNG state, no
+// timing dependence).
+#pragma once
+
+#include <cstdint>
+
+namespace phch {
+
+// splitmix64 finalizer: a high-quality 64 -> 64 bit mixing function.
+inline std::uint64_t hash64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// 32-bit variant (Wang hash style via hash64 truncation).
+inline std::uint32_t hash32(std::uint64_t x) noexcept {
+  return static_cast<std::uint32_t>(hash64(x));
+}
+
+// A counter-based generator: rng(seed)[i] is a pure function of (seed, i).
+// fork(i) derives an independent stream, as in PBBS's `random`.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  rng fork(std::uint64_t i) const noexcept { return rng(hash64(seed_ + i)); }
+
+  std::uint64_t ith_rand(std::uint64_t i) const noexcept { return hash64(seed_ + i); }
+
+  // Uniform in [0, range). Slight modulo bias is irrelevant for workloads.
+  std::uint64_t ith_rand(std::uint64_t i, std::uint64_t range) const noexcept {
+    return ith_rand(i) % range;
+  }
+
+  // Uniform double in [0, 1).
+  double ith_double(std::uint64_t i) const noexcept {
+    return static_cast<double>(ith_rand(i) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace phch

@@ -1,0 +1,24 @@
+// Wall-clock timer used by benchmarks and examples.
+#pragma once
+
+#include <chrono>
+
+namespace phch {
+
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Seconds elapsed since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace phch

@@ -1,0 +1,63 @@
+// PBBS-style input sequence generators used by the paper's evaluation (§6):
+//
+//   randomSeq-int       n uniform integers in [1, n]
+//   randomSeq-pairInt   n uniform (key, value) integer pairs
+//   exptSeq-int         n integers from an exponential distribution (many
+//                       duplicates; stresses collision/contention handling)
+//   exptSeq-pairInt     exponential keys with attached values
+//
+// (trigramSeq / trigramSeq-pairInt live in trigram.h.)
+//
+// All generators are deterministic functions of (n, seed): parallel loops
+// draw from a counter-based rng, so regenerating an input always produces
+// identical data regardless of thread count.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/parallel/primitives.h"
+#include "phch/utils/rand.h"
+
+namespace phch::workloads {
+
+// n uniform keys in [1, n] (0 and max are reserved by the entry traits).
+inline std::vector<std::uint64_t> random_int_seq(std::size_t n, std::uint64_t seed = 0) {
+  const rng r(hash64(seed ^ 0x5eedULL));
+  return tabulate(n, [&](std::size_t i) { return 1 + r.ith_rand(i, n); });
+}
+
+// n uniform (key, value) pairs with keys in [1, n].
+inline std::vector<kv64> random_pair_seq(std::size_t n, std::uint64_t seed = 0) {
+  const rng rk(hash64(seed ^ 0x5eedULL));
+  const rng rv(hash64(seed ^ 0x7a19e37ULL));
+  return tabulate(n, [&](std::size_t i) {
+    return kv64{1 + rk.ith_rand(i, n), 1 + rv.ith_rand(i, n)};
+  });
+}
+
+// n keys from a (discretized) exponential distribution over [1, n]: key
+// k = 1 + floor(-mean * ln(1 - u)). With mean = n / 2^8 roughly n/40 keys
+// are distinct — the heavy duplication the paper uses to test high
+// collision rates.
+inline std::vector<std::uint64_t> expt_int_seq(std::size_t n, std::uint64_t seed = 0) {
+  const rng r(hash64(seed ^ 0xe4b7ULL));
+  const double mean = static_cast<double>(n) / 256.0 + 1.0;
+  return tabulate(n, [&](std::size_t i) {
+    const double u = r.ith_double(i);
+    const double x = -mean * std::log1p(-u);
+    const std::uint64_t k = 1 + static_cast<std::uint64_t>(x);
+    return k < n ? k : static_cast<std::uint64_t>(n);
+  });
+}
+
+// Exponential keys with uniform values attached.
+inline std::vector<kv64> expt_pair_seq(std::size_t n, std::uint64_t seed = 0) {
+  const auto keys = expt_int_seq(n, seed);
+  const rng rv(hash64(seed ^ 0xabcdULL));
+  return tabulate(n, [&](std::size_t i) { return kv64{keys[i], 1 + rv.ith_rand(i, n)}; });
+}
+
+}  // namespace phch::workloads

@@ -1,0 +1,214 @@
+#include "phch/workloads/trigram.h"
+
+#include <array>
+#include <cstring>
+
+#include "phch/parallel/parallel_for.h"
+#include "phch/parallel/primitives.h"
+#include "phch/utils/rand.h"
+
+namespace phch::workloads {
+
+namespace {
+
+// Seed prose for the trigram model. The generator only consumes letter
+// statistics, so any few kilobytes of ordinary English works; this text was
+// written for this repository.
+constexpr const char* kSeedText =
+    "the quick growth of parallel machines has made shared memory programs a "
+    "common way to use many cores at once and with that growth came a steady "
+    "demand for data structures that behave the same way on every run so that "
+    "a programmer can test and debug a program once and trust the result on "
+    "any schedule of threads the hash table is among the most used of these "
+    "structures because it offers constant time insertion search and removal "
+    "of keys and because so many algorithms need to gather a set of items "
+    "without duplicates or to map names to values in this work we consider "
+    "tables that keep their layout independent of the order in which the "
+    "operations arrive which means that reading out the contents gives the "
+    "same sequence every time such a table makes a whole class of parallel "
+    "algorithms deterministic from graph search to mesh refinement to the "
+    "removal of duplicate records the idea rests on a simple rule when two "
+    "keys want the same cell the one with higher priority takes it and the "
+    "other moves along the probe path this rule gives a unique stable layout "
+    "for any set of keys no matter how the inserts interleave and a matching "
+    "rule for removal fills each hole with the proper later element so the "
+    "layout stays canonical the cost of keeping this order is small a few "
+    "extra swaps during insertion and a short scan during removal while the "
+    "gain is large since any program built on the table inherits the same "
+    "answer on one thread or eighty the experiments in the original study "
+    "ran on a machine with forty cores and showed that the ordered table "
+    "kept pace with the fastest unordered tables of its day while none of "
+    "those could promise a stable layout the lesson carries over to modern "
+    "machines where the memory system dominates cost and a single cache miss "
+    "per operation is the budget one must meet to stay competitive with a "
+    "plain scatter of writes into an array a careful design keeps most "
+    "probes inside one cache line and lets the table meet that budget the "
+    "applications tell the rest of the story finding the unique words in a "
+    "stream refining a triangle mesh until every angle is wide enough "
+    "building the tree of suffixes of a long text joining the edges of a "
+    "shrinking graph walking a graph level by level and growing a spanning "
+    "forest all of these want a place to pour items from many threads and "
+    "then read them back in a fixed order and all of them run almost as "
+    "fast on the ordered table as on the unordered one which is the point "
+    "of the whole exercise determinism can be close to free if the data "
+    "structure is built for it";
+
+constexpr int kAlpha = 27;  // 'a'..'z' plus word boundary at index 26
+constexpr int kBoundary = 26;
+constexpr int kMaxWord = 16;
+
+int char_class(char c) {
+  return (c >= 'a' && c <= 'z') ? c - 'a' : kBoundary;
+}
+
+// Cumulative trigram distribution: for each (c1, c2) context, cum[x] is the
+// cumulative count of successor class x, used for inverse-CDF sampling.
+struct trigram_model {
+  std::array<std::array<std::array<std::uint32_t, kAlpha>, kAlpha>, kAlpha> cum{};
+
+  trigram_model() {
+    std::array<std::array<std::array<std::uint32_t, kAlpha>, kAlpha>, kAlpha> counts{};
+    int c1 = kBoundary;
+    int c2 = kBoundary;
+    for (const char* p = kSeedText; *p; ++p) {
+      const int c3 = char_class(*p);
+      counts[c1][c2][c3]++;
+      c1 = c2;
+      c2 = c3;
+    }
+    for (int a = 0; a < kAlpha; ++a) {
+      for (int b = 0; b < kAlpha; ++b) {
+        std::uint32_t acc = 0;
+        for (int c = 0; c < kAlpha; ++c) {
+          // Real counts dominate; light smoothing keeps every class
+          // reachable, with extra weight on the boundary so words sampled
+          // from unseen contexts terminate quickly (matching English-like
+          // word lengths and the heavy key duplication PBBS's trigramSeq
+          // exhibits).
+          acc += 24 * counts[a][b][c] + (c == kBoundary ? 6 : 1);
+          cum[a][b][c] = acc;
+        }
+      }
+    }
+  }
+
+  // Samples the successor class of context (c1, c2) with random draw u.
+  int sample(int c1, int c2, std::uint64_t u) const {
+    const auto& row = cum[c1][c2];
+    const std::uint32_t target = static_cast<std::uint32_t>(u % row[kAlpha - 1]);
+    int lo = 0;
+    while (row[lo] <= target) ++lo;
+    return lo;
+  }
+};
+
+const trigram_model& model() {
+  static const trigram_model m;
+  return m;
+}
+
+// Writes one sampled word (NUL-terminated) into out[0..kMaxWord]; returns
+// its length (at least 1, at most kMaxWord).
+std::size_t sample_word(const rng& r, char* out) {
+  const trigram_model& m = model();
+  int c1 = kBoundary;
+  int c2 = kBoundary;
+  std::size_t len = 0;
+  std::uint64_t draw = 0;
+  while (len < kMaxWord) {
+    const int c3 = m.sample(c1, c2, r.ith_rand(draw++));
+    if (c3 == kBoundary) {
+      if (len == 0) continue;  // no empty words
+      break;
+    }
+    out[len++] = static_cast<char>('a' + c3);
+    c1 = c2;
+    c2 = c3;
+  }
+  out[len] = '\0';
+  return len;
+}
+
+}  // namespace
+
+string_seq trigram_string_seq(std::size_t n, std::uint64_t seed) {
+  const rng base(hash64(seed ^ 0x7419aaULL));
+  constexpr std::size_t kStride = kMaxWord + 1;
+  std::vector<char> scratch(n * kStride);
+  std::vector<std::size_t> lens(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    lens[i] = sample_word(base.fork(i), &scratch[i * kStride]) + 1;  // incl NUL
+  });
+  std::vector<std::size_t> offsets = lens;
+  const std::size_t total = scan_add_inplace(offsets);
+  string_seq out;
+  out.arena.resize(total);
+  out.keys.resize(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    char* dst = &out.arena[offsets[i]];
+    std::memcpy(dst, &scratch[i * kStride], lens[i]);
+    out.keys[i] = dst;
+  });
+  return out;
+}
+
+string_pair_seq trigram_pair_seq(std::size_t n, std::uint64_t seed) {
+  string_seq words = trigram_string_seq(n, seed);
+  const rng rv(hash64(seed ^ 0xbeefULL));
+  string_pair_seq out;
+  out.arena = std::move(words.arena);
+  out.records.resize(n);
+  out.entries.resize(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    out.records[i] = string_kv{words.keys[i], 1 + rv.ith_rand(i, n ? n : 1)};
+    out.entries[i] = &out.records[i];
+  });
+  return out;
+}
+
+std::string trigram_text(std::size_t n, std::uint64_t seed) {
+  // Sample words until the stream is long enough, then truncate. Word
+  // generation is sequential in structure (each word follows the last) but
+  // words are independent streams, so build in parallel chunks.
+  const rng base(hash64(seed ^ 0x7e87ULL));
+  const std::size_t approx_words = n / 5 + 2;
+  string_seq words = trigram_string_seq(approx_words, hash64(seed ^ 0x7e87ULL));
+  std::string text;
+  text.reserve(n + kMaxWord + 1);
+  std::size_t i = 0;
+  while (text.size() < n) {
+    if (i == words.keys.size()) {
+      words = trigram_string_seq(approx_words, base.ith_rand(i));
+      i = 0;
+    }
+    text += words.keys[i++];
+    text += ' ';
+  }
+  text.resize(n);
+  return text;
+}
+
+std::string protein_text(std::size_t n, std::uint64_t seed) {
+  // Amino-acid alphabet with (approximate) natural frequencies, per mille.
+  static constexpr char kAcids[20] = {'L', 'A', 'G', 'V', 'E', 'S', 'I', 'K', 'R', 'D',
+                                      'T', 'P', 'N', 'Q', 'F', 'Y', 'M', 'H', 'C', 'W'};
+  static constexpr int kFreq[20] = {99, 83, 71, 69, 62, 66, 59, 58, 55, 54,
+                                    53, 47, 41, 39, 39, 29, 24, 23, 14, 11};
+  std::array<std::uint32_t, 20> cum{};
+  std::uint32_t acc = 0;
+  for (int i = 0; i < 20; ++i) {
+    acc += static_cast<std::uint32_t>(kFreq[i]);
+    cum[static_cast<std::size_t>(i)] = acc;
+  }
+  const rng r(hash64(seed ^ 0x9047e14ULL));
+  std::string text(n, 'A');
+  parallel_for(0, n, [&](std::size_t i) {
+    const std::uint32_t t = static_cast<std::uint32_t>(r.ith_rand(i) % acc);
+    int lo = 0;
+    while (cum[static_cast<std::size_t>(lo)] <= t) ++lo;
+    text[i] = kAcids[lo];
+  });
+  return text;
+}
+
+}  // namespace phch::workloads

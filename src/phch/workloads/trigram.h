@@ -1,0 +1,57 @@
+// trigramSeq / trigramSeq-pairInt: string-key workloads generated from
+// trigram probabilities of English text, as in PBBS.
+//
+// Substitution note (see DESIGN.md §3): PBBS ships a trigram-probability
+// data file; we instead embed a few kilobytes of public-domain English
+// prose, build the trigram model from it at first use, and sample words
+// from the model. The resulting key distribution has the property the
+// paper relies on: a heavy-tailed set of strings with *many duplicate
+// keys*, exercising contention and combining paths.
+//
+// The generator also produces whole synthetic *texts* (English-like and
+// protein-like) for the suffix-tree experiments.
+//
+// Strings are arena-allocated: a workload owns one big character buffer and
+// the tables store `const char*` into it, mirroring the paper's
+// pointer-stored string keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+
+namespace phch::workloads {
+
+// A set of n C-strings sampled from the trigram model (with duplicates).
+// The `arena` owns the character data; `keys[i]` points into it.
+struct string_seq {
+  std::vector<char> arena;
+  std::vector<const char*> keys;
+};
+
+// A set of n (string key, integer value) records, stored by pointer as in
+// the paper's trigramSeq-pairInt (extra level of indirection).
+struct string_pair_seq {
+  std::vector<char> arena;
+  std::vector<string_kv> records;
+  std::vector<const string_kv*> entries;
+};
+
+// n word-strings from trigram probabilities of English.
+string_seq trigram_string_seq(std::size_t n, std::uint64_t seed = 0);
+
+// n (word, value) records, values uniform in [1, n].
+string_pair_seq trigram_pair_seq(std::size_t n, std::uint64_t seed = 0);
+
+// A length-n English-like character stream (words joined by spaces) for the
+// suffix-tree experiments (stands in for etext99/rctail96).
+std::string trigram_text(std::size_t n, std::uint64_t seed = 0);
+
+// A length-n protein-like sequence over the 20 amino-acid letters with
+// skewed frequencies (stands in for sprot34.dat).
+std::string protein_text(std::size_t n, std::uint64_t seed = 0);
+
+}  // namespace phch::workloads

@@ -1,0 +1,72 @@
+// Shared helpers for the hash table test suites.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/utils/rand.h"
+
+namespace phch::test {
+
+// Verifies the paper's ordering invariant (Definition 2) on a raw slot
+// array: for every occupied slot j holding v, every slot on the probe path
+// from home(v) to j holds a key of priority >= v.
+template <typename Traits>
+bool ordering_invariant_holds(const typename Traits::value_type* slots,
+                              std::size_t capacity) {
+  const std::size_t mask = capacity - 1;
+  for (std::size_t j = 0; j < capacity; ++j) {
+    const auto v = slots[j];
+    if (Traits::is_empty(v)) continue;
+    const std::size_t hv = Traits::hash(Traits::key(v)) & mask;
+    for (std::size_t k = hv; k != j; k = (k + 1) & mask) {
+      const auto c = slots[k];
+      if (Traits::is_empty(c)) return false;  // a hole inside the probe path
+      if (Traits::priority_less(Traits::key(c), Traits::key(v))) return false;
+    }
+  }
+  return true;
+}
+
+// Distinct keys in [1, limit), deterministic.
+inline std::vector<std::uint64_t> unique_keys(std::size_t n, std::uint64_t seed = 1) {
+  std::set<std::uint64_t> s;
+  std::uint64_t i = 0;
+  while (s.size() < n) s.insert(1 + phch::hash64(seed * 1000003 + i++) % (8 * n + 16));
+  return {s.begin(), s.end()};
+}
+
+// Keys with duplicates, deterministic.
+inline std::vector<std::uint64_t> dup_keys(std::size_t n, std::size_t distinct,
+                                           std::uint64_t seed = 1) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 1 + phch::hash64(seed ^ i) % (distinct ? distinct : 1);
+  return v;
+}
+
+// Deterministic permutation.
+template <typename T>
+std::vector<T> shuffled(std::vector<T> v, std::uint64_t seed) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[phch::hash64(seed ^ i) % i]);
+  }
+  return v;
+}
+
+// Inserts keys into the table from a parallel loop.
+template <typename Table, typename Seq>
+void parallel_insert(Table& t, const Seq& keys) {
+  phch::parallel_for(0, keys.size(), [&](std::size_t i) { t.insert(keys[i]); });
+}
+
+template <typename Table, typename Seq>
+void parallel_erase(Table& t, const Seq& keys) {
+  phch::parallel_for(0, keys.size(), [&](std::size_t i) { t.erase(keys[i]); });
+}
+
+}  // namespace phch::test

@@ -1,0 +1,124 @@
+// cas / write_min / write_max / fetch_add, including the 16-byte CAS the
+// deterministic table relies on for key-value combining.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "phch/core/entry_traits.h"
+#include "phch/parallel/atomics.h"
+#include "phch/parallel/parallel_for.h"
+
+namespace phch {
+namespace {
+
+TEST(Cas, SucceedsWhenValueMatches) {
+  std::uint64_t x = 42;
+  EXPECT_TRUE(cas(&x, std::uint64_t{42}, std::uint64_t{7}));
+  EXPECT_EQ(x, 7u);
+}
+
+TEST(Cas, FailsWhenValueDiffers) {
+  std::uint64_t x = 42;
+  EXPECT_FALSE(cas(&x, std::uint64_t{41}, std::uint64_t{7}));
+  EXPECT_EQ(x, 42u);
+}
+
+TEST(Cas, WorksOnPointers) {
+  int a = 0;
+  int b = 0;
+  int* p = &a;
+  EXPECT_TRUE(cas(&p, &a, &b));
+  EXPECT_EQ(p, &b);
+}
+
+TEST(Cas, WorksOn32And16And8Bit) {
+  std::uint32_t w = 5;
+  EXPECT_TRUE(cas(&w, std::uint32_t{5}, std::uint32_t{6}));
+  EXPECT_EQ(w, 6u);
+  std::uint16_t h = 5;
+  EXPECT_TRUE(cas(&h, std::uint16_t{5}, std::uint16_t{6}));
+  EXPECT_EQ(h, 6u);
+  std::uint8_t b = 5;
+  EXPECT_TRUE(cas(&b, std::uint8_t{5}, std::uint8_t{6}));
+  EXPECT_EQ(b, 6u);
+}
+
+TEST(Cas, SixteenByteDoubleWord) {
+  kv64 x{1, 2};
+  EXPECT_TRUE(cas(&x, kv64{1, 2}, kv64{3, 4}));
+  EXPECT_EQ(x.k, 3u);
+  EXPECT_EQ(x.v, 4u);
+  EXPECT_FALSE(cas(&x, kv64{1, 2}, kv64{9, 9}));
+  EXPECT_EQ(x.k, 3u);
+}
+
+TEST(Cas, SixteenByteConcurrentIncrementsLoseNoUpdates) {
+  kv64 x{0, 0};
+  constexpr std::size_t n = 20000;
+  parallel_for(0, n, [&](std::size_t) {
+    for (;;) {
+      const kv64 cur = atomic_load(&x);
+      if (cas(&x, cur, kv64{cur.k + 1, cur.v + 2})) return;
+    }
+  });
+  EXPECT_EQ(x.k, n);
+  EXPECT_EQ(x.v, 2 * n);
+}
+
+TEST(WriteMin, KeepsMinimumUnderContention) {
+  std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+  constexpr std::size_t n = 100000;
+  parallel_for(0, n, [&](std::size_t i) {
+    write_min(&m, hash64(i) % 1000000);
+  });
+  std::uint64_t expected = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < n; ++i) expected = std::min(expected, hash64(i) % 1000000);
+  EXPECT_EQ(m, expected);
+}
+
+TEST(WriteMin, ReturnsTrueOnlyWhenItUpdates) {
+  std::uint64_t m = 10;
+  EXPECT_FALSE(write_min(&m, std::uint64_t{10}));
+  EXPECT_FALSE(write_min(&m, std::uint64_t{15}));
+  EXPECT_TRUE(write_min(&m, std::uint64_t{5}));
+  EXPECT_EQ(m, 5u);
+}
+
+TEST(WriteMin, CustomComparator) {
+  // Max-heap semantics via inverted comparator.
+  int m = 0;
+  EXPECT_TRUE(write_min(&m, 9, [](int a, int b) { return a > b; }));
+  EXPECT_EQ(m, 9);
+}
+
+TEST(WriteMax, KeepsMaximum) {
+  std::int64_t m = -1;
+  constexpr std::size_t n = 50000;
+  parallel_for(0, n, [&](std::size_t i) {
+    write_max(&m, static_cast<std::int64_t>(hash64(i) % 999983));
+  });
+  std::int64_t expected = -1;
+  for (std::size_t i = 0; i < n; ++i)
+    expected = std::max(expected, static_cast<std::int64_t>(hash64(i) % 999983));
+  EXPECT_EQ(m, expected);
+}
+
+TEST(FetchAdd, SumsUnderContention) {
+  std::uint64_t sum = 0;
+  constexpr std::size_t n = 100000;
+  parallel_for(0, n, [&](std::size_t i) { fetch_add(&sum, i); });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(AtomicLoadStore, RoundTrips16Bytes) {
+  kv64 x{0, 0};
+  atomic_store(&x, kv64{11, 22});
+  const kv64 y = atomic_load(&x);
+  EXPECT_EQ(y.k, 11u);
+  EXPECT_EQ(y.v, 22u);
+}
+
+}  // namespace
+}  // namespace phch

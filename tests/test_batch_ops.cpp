@@ -1,0 +1,83 @@
+// Batched operations with prefetching: identical semantics to per-op calls.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "phch/core/batch_ops.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+TEST(BatchOps, InsertBatchEqualsPerOpLayout) {
+  const auto keys = test::dup_keys(20000, 12000, 3);
+  deterministic_table<int_entry<>> a(1 << 16);
+  deterministic_table<int_entry<>> b(1 << 16);
+  insert_batch(a, keys);
+  test::parallel_insert(b, keys);
+  for (std::size_t s = 0; s < a.capacity(); ++s) {
+    ASSERT_EQ(a.raw_slots()[s], b.raw_slots()[s]);
+  }
+}
+
+TEST(BatchOps, FindBatchMatchesPerOpFinds) {
+  const auto keys = test::unique_keys(5000, 5);
+  deterministic_table<int_entry<>> t(1 << 14);
+  insert_batch(t, keys);
+  std::vector<std::uint64_t> queries = keys;
+  queries.push_back(999999999ULL);  // absent
+  queries.push_back(888888888ULL);
+  const auto out = find_batch(t, queries);
+  ASSERT_EQ(out.size(), queries.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) ASSERT_EQ(out[i], keys[i]);
+  EXPECT_TRUE(int_entry<>::is_empty(out[keys.size()]));
+  EXPECT_TRUE(int_entry<>::is_empty(out[keys.size() + 1]));
+}
+
+TEST(BatchOps, EraseBatchRemovesExactlyTheBatch) {
+  const auto keys = test::unique_keys(6000, 7);
+  deterministic_table<int_entry<>> t(1 << 14);
+  insert_batch(t, keys);
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 2500);
+  erase_batch(t, dels);
+  EXPECT_EQ(t.count(), keys.size() - dels.size());
+  for (std::size_t i = 2500; i < keys.size(); ++i) ASSERT_TRUE(t.contains(keys[i]));
+  for (const auto d : dels) ASSERT_FALSE(t.contains(d));
+}
+
+TEST(BatchOps, WorksOnNdTable) {
+  const auto keys = test::unique_keys(4000, 9);
+  nd_linear_table<int_entry<>> t(1 << 13);
+  insert_batch(t, keys);
+  EXPECT_EQ(t.count(), keys.size());
+  const auto out = find_batch(t, keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) ASSERT_EQ(out[i], keys[i]);
+  erase_batch(t, keys);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(BatchOps, PairEntriesWithCombining) {
+  deterministic_table<pair_entry<combine_add>> t(1 << 12);
+  const auto batch = tabulate(10000, [](std::size_t i) {
+    return kv64{1 + (i % 5), 1};
+  });
+  insert_batch(t, batch);
+  const std::vector<std::uint64_t> qs{1, 2, 3, 4, 5};
+  const auto out = find_batch(t, qs);
+  std::uint64_t total = 0;
+  for (const auto& e : out) total += e.v;
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(BatchOps, TinyBatches) {
+  deterministic_table<int_entry<>> t(64);
+  insert_batch(t, std::vector<std::uint64_t>{});
+  insert_batch(t, std::vector<std::uint64_t>{7});
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_TRUE(find_batch(t, std::vector<std::uint64_t>{}).empty());
+}
+
+}  // namespace
+}  // namespace phch

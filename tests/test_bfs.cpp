@@ -1,0 +1,156 @@
+// BFS (Figure 2 / Table 7): all implementations agree on levels; the
+// deterministic variants agree on exact parent arrays across runs and
+// thread counts; the BFS tree is valid.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "phch/apps/bfs.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/graph/generators.h"
+#include "phch/parallel/scheduler.h"
+
+namespace phch::apps {
+namespace {
+
+using traits32 = int_entry<std::uint32_t>;
+
+std::vector<std::int64_t> levels_of(const graph::csr_graph& g,
+                                    const std::vector<std::int64_t>& parents,
+                                    graph::vertex_id root) {
+  // Recompute levels from the parent array by BFS over parent pointers.
+  std::vector<std::int64_t> level(g.num_vertices(), -1);
+  level[root] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+      if (level[v] >= 0 || parents[v] == kNotReached) continue;
+      const auto p = static_cast<std::size_t>(decode_parent(parents[v]));
+      if (level[p] >= 0) {
+        level[v] = level[p] + 1;
+        changed = true;
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<std::int64_t> reference_distances(const graph::csr_graph& g,
+                                              graph::vertex_id root) {
+  std::vector<std::int64_t> dist(g.num_vertices(), -1);
+  std::queue<graph::vertex_id> q;
+  dist[root] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const auto v = q.front();
+    q.pop();
+    g.for_each_neighbor(v, [&](graph::vertex_id w) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    });
+  }
+  return dist;
+}
+
+class BfsOnGraphs : public ::testing::TestWithParam<int> {
+ protected:
+  graph::csr_graph make_graph() const {
+    switch (GetParam()) {
+      case 0:
+        return graph::csr_graph::from_edges(8 * 8 * 8, graph::grid3d_edges(8));
+      case 1:
+        return graph::csr_graph::from_edges(4000, graph::random_k_edges(4000, 5, 3));
+      default:
+        return graph::csr_graph::from_edges(1 << 12, graph::rmat_edges(12, 20000, 7));
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Graphs, BfsOnGraphs, ::testing::Values(0, 1, 2));
+
+TEST_P(BfsOnGraphs, AllVariantsAgreeOnDistances) {
+  const auto g = make_graph();
+  const auto ref = reference_distances(g, 0);
+  const auto serial = levels_of(g, serial_bfs(g, 0), 0);
+  const auto arr = levels_of(g, array_bfs(g, 0), 0);
+  const auto hash = levels_of(g, hash_bfs<deterministic_table<traits32>>(g, 0), 0);
+  const auto hashnd = levels_of(g, hash_bfs<nd_linear_table<traits32>>(g, 0), 0);
+  EXPECT_EQ(serial, ref);
+  EXPECT_EQ(arr, ref);
+  EXPECT_EQ(hash, ref);
+  EXPECT_EQ(hashnd, ref);
+}
+
+TEST_P(BfsOnGraphs, DeterministicVariantsProduceIdenticalParents) {
+  const auto g = make_graph();
+  const auto a = array_bfs(g, 0);
+  const auto h = hash_bfs<deterministic_table<traits32>>(g, 0);
+  EXPECT_EQ(a, h);
+  // And repeatable.
+  EXPECT_EQ(h, hash_bfs<deterministic_table<traits32>>(g, 0));
+}
+
+TEST_P(BfsOnGraphs, ParentsFormAValidTree) {
+  const auto g = make_graph();
+  const auto parents = hash_bfs<deterministic_table<traits32>>(g, 0);
+  const auto ref = reference_distances(g, 0);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (ref[v] < 0) {
+      EXPECT_EQ(parents[v], kNotReached);
+      continue;
+    }
+    ASSERT_LT(parents[v], 0) << "reached vertex not marked visited";
+    if (v == 0) continue;
+    const auto p = static_cast<graph::vertex_id>(decode_parent(parents[v]));
+    // Parent must be a true neighbor one level up.
+    bool is_nbr = false;
+    g.for_each_neighbor(static_cast<graph::vertex_id>(v),
+                        [&](graph::vertex_id w) { is_nbr |= w == p; });
+    EXPECT_TRUE(is_nbr);
+    EXPECT_EQ(ref[p] + 1, ref[v]);
+  }
+}
+
+TEST_P(BfsOnGraphs, HashBfsIdenticalAcrossThreadCounts) {
+  const auto g = make_graph();
+  scheduler& sched = scheduler::get();
+  const int original = sched.num_workers();
+  sched.set_num_workers(1);
+  const auto p1 = hash_bfs<deterministic_table<traits32>>(g, 0);
+  sched.set_num_workers(7);
+  const auto p7 = hash_bfs<deterministic_table<traits32>>(g, 0);
+  sched.set_num_workers(original);
+  EXPECT_EQ(p1, p7);
+}
+
+TEST(Bfs, OtherTableTypesProduceValidTrees) {
+  const auto g = graph::csr_graph::from_edges(2000, graph::random_k_edges(2000, 5, 9));
+  const auto ref = reference_distances(g, 0);
+  EXPECT_EQ(levels_of(g, hash_bfs<cuckoo_table<traits32>>(g, 0, 2.0), 0), ref);
+  EXPECT_EQ(levels_of(g, (hash_bfs<chained_table<traits32, true>>(g, 0)), 0), ref);
+}
+
+TEST(Bfs, DisconnectedGraphLeavesUnreached) {
+  const std::vector<graph::edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  const auto g = graph::csr_graph::from_edges(5, edges);
+  const auto p = hash_bfs<deterministic_table<traits32>>(g, 0);
+  EXPECT_LT(p[0], 0);
+  EXPECT_LT(p[2], 0);
+  EXPECT_EQ(p[3], kNotReached);
+  EXPECT_EQ(p[4], kNotReached);
+}
+
+TEST(Bfs, SingleVertexGraph) {
+  const auto g = graph::csr_graph::from_edges(1, {});
+  const auto p = serial_bfs(g, 0);
+  EXPECT_EQ(decode_parent(p[0]), 0);
+}
+
+}  // namespace
+}  // namespace phch::apps

@@ -1,0 +1,48 @@
+// Command-line parsing helper used by the example tools.
+#include <gtest/gtest.h>
+
+#include "phch/utils/cmdline.h"
+
+namespace phch {
+namespace {
+
+TEST(Cmdline, FlagsAndValues) {
+  const char* argv[] = {"prog", "-n", "42", "-dist", "expt", "-verify"};
+  const cmdline cl(6, const_cast<char**>(argv));
+  EXPECT_EQ(cl.get_long("-n", 0), 42);
+  EXPECT_EQ(cl.get_string("-dist", "x"), "expt");
+  EXPECT_TRUE(cl.has("-verify"));
+  EXPECT_FALSE(cl.has("-missing"));
+}
+
+TEST(Cmdline, Defaults) {
+  const char* argv[] = {"prog"};
+  const cmdline cl(1, const_cast<char**>(argv));
+  EXPECT_EQ(cl.get_long("-n", 7), 7);
+  EXPECT_EQ(cl.get_string("-o", "out"), "out");
+  EXPECT_DOUBLE_EQ(cl.get_double("-alpha", 2.5), 2.5);
+}
+
+TEST(Cmdline, DoubleParsing) {
+  const char* argv[] = {"prog", "-alpha", "26.5"};
+  const cmdline cl(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cl.get_double("-alpha", 0), 26.5);
+}
+
+TEST(Cmdline, Positionals) {
+  const char* argv[] = {"prog", "input.txt", "-n", "5", "output.txt"};
+  const cmdline cl(5, const_cast<char**>(argv));
+  EXPECT_EQ(cl.positional(0), "input.txt");
+  EXPECT_EQ(cl.positional(1), "output.txt");
+  EXPECT_EQ(cl.positional(2, "none"), "none");
+}
+
+TEST(Cmdline, FlagAtEndWithoutValue) {
+  const char* argv[] = {"prog", "-n"};
+  const cmdline cl(2, const_cast<char**>(argv));
+  EXPECT_EQ(cl.get_long("-n", 3), 3);  // no value available -> fallback
+  EXPECT_TRUE(cl.has("-n"));
+}
+
+}  // namespace
+}  // namespace phch

@@ -1,0 +1,120 @@
+// Connected components via contraction: agreement with a serial union-find
+// sweep (up to label naming), determinism, round counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "phch/apps/connected_components.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/graph/generators.h"
+#include "phch/parallel/scheduler.h"
+
+namespace phch::apps {
+namespace {
+
+using det = deterministic_table<pair_entry<combine_add>>;
+
+// Two labelings are equivalent iff they induce the same partition.
+bool same_partition(const std::vector<std::uint32_t>& a,
+                    const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<std::uint32_t, std::uint32_t> fwd;
+  std::map<std::uint32_t, std::uint32_t> bwd;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [itf, newf] = fwd.emplace(a[i], b[i]);
+    if (!newf && itf->second != b[i]) return false;
+    auto [itb, newb] = bwd.emplace(b[i], a[i]);
+    if (!newb && itb->second != a[i]) return false;
+  }
+  return true;
+}
+
+class CcOnGraphs : public ::testing::TestWithParam<int> {
+ protected:
+  std::pair<std::size_t, std::vector<graph::edge>> make() const {
+    switch (GetParam()) {
+      case 0:
+        return {5 * 5 * 5, graph::grid3d_edges(5)};
+      case 1:
+        return {2000, graph::random_k_edges(2000, 2, 3)};  // sparse, many comps
+      case 2:
+        return {1 << 11, graph::rmat_edges(11, 3000, 7)};
+      default: {
+        std::vector<graph::edge> e;  // chain of 100 + isolated vertices
+        for (std::uint32_t i = 0; i + 1 < 100; ++i) e.push_back({i, i + 1});
+        return {200, e};
+      }
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CcOnGraphs, ::testing::Values(0, 1, 2, 3));
+
+TEST_P(CcOnGraphs, MatchesSerialPartition) {
+  const auto [n, edges] = make();
+  const auto serial = serial_connected_components(n, edges);
+  cc_stats stats;
+  const auto par = connected_components<det>(n, edges, &stats);
+  EXPECT_TRUE(same_partition(serial, par));
+  EXPECT_GT(stats.num_components, 0u);
+}
+
+TEST_P(CcOnGraphs, ComponentCountIsExact) {
+  const auto [n, edges] = make();
+  const auto serial = serial_connected_components(n, edges);
+  std::set<std::uint32_t> distinct(serial.begin(), serial.end());
+  cc_stats stats;
+  connected_components<det>(n, edges, &stats);
+  EXPECT_EQ(stats.num_components, distinct.size());
+}
+
+TEST_P(CcOnGraphs, DeterministicAcrossThreadCounts) {
+  const auto [n, edges] = make();
+  scheduler& sched = scheduler::get();
+  const int original = sched.num_workers();
+  sched.set_num_workers(1);
+  const auto c1 = connected_components<det>(n, edges);
+  sched.set_num_workers(5);
+  const auto c5 = connected_components<det>(n, edges);
+  sched.set_num_workers(original);
+  EXPECT_EQ(c1, c5);  // exact label equality, not just same partition
+}
+
+TEST(ConnectedComponents, NdTableStillGivesCorrectPartition) {
+  const std::size_t n = 1500;
+  const auto edges = graph::random_k_edges(n, 2, 9);
+  const auto serial = serial_connected_components(n, edges);
+  const auto par =
+      connected_components<nd_linear_table<pair_entry<combine_add>>>(n, edges);
+  EXPECT_TRUE(same_partition(serial, par));
+}
+
+TEST(ConnectedComponents, EdgelessGraphIsAllSingletons) {
+  cc_stats stats;
+  const auto c = connected_components<det>(50, {}, &stats);
+  EXPECT_EQ(stats.num_components, 50u);
+  EXPECT_EQ(stats.rounds, 0u);
+  for (std::uint32_t v = 0; v < 50; ++v) EXPECT_EQ(c[v], v);
+}
+
+TEST(ConnectedComponents, SelfLoopsIgnored) {
+  const std::vector<graph::edge> edges = {{0, 0}, {1, 1}, {0, 1}};
+  cc_stats stats;
+  connected_components<det>(3, edges, &stats);
+  EXPECT_EQ(stats.num_components, 2u);
+}
+
+TEST(ConnectedComponents, RoundsAreLogarithmicOnAChain) {
+  // A 512-vertex path contracts by at least half per round.
+  std::vector<graph::edge> e;
+  for (std::uint32_t i = 0; i + 1 < 512; ++i) e.push_back({i, i + 1});
+  cc_stats stats;
+  connected_components<det>(512, e, &stats);
+  EXPECT_EQ(stats.num_components, 1u);
+  EXPECT_LE(stats.rounds, 16u);
+}
+
+}  // namespace
+}  // namespace phch::apps

@@ -1,0 +1,91 @@
+// Phase-concurrent cuckoo baseline: two-location placement, eviction
+// chains, lock ordering, combining.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "phch/core/cuckoo_table.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+using ctable = cuckoo_table<int_entry<>>;
+
+TEST(CuckooTable, InsertFindErase) {
+  ctable t(128);
+  t.insert(7);
+  t.insert(8);
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_TRUE(t.contains(8));
+  EXPECT_FALSE(t.contains(9));
+  t.erase(7);
+  EXPECT_FALSE(t.contains(7));
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(CuckooTable, ElementsAreWithinTwoCandidateSlots) {
+  // Structural invariant of cuckoo hashing: every element sits in one of
+  // its two hash locations, so finds are O(1).
+  ctable t(1 << 12);
+  const auto keys = test::unique_keys(1200, 3);
+  test::parallel_insert(t, keys);
+  for (const auto k : keys) ASSERT_TRUE(t.contains(k)) << k;
+}
+
+TEST(CuckooTable, SetSemanticsUnderConcurrency) {
+  ctable t(1 << 14);
+  const auto keys = test::dup_keys(10000, 6000, 5);
+  test::parallel_insert(t, keys);
+  const std::set<std::uint64_t> expected(keys.begin(), keys.end());
+  EXPECT_EQ(t.count(), expected.size());
+  auto elems = t.elements();
+  std::sort(elems.begin(), elems.end());
+  EXPECT_TRUE(std::equal(elems.begin(), elems.end(), expected.begin(), expected.end()));
+}
+
+TEST(CuckooTable, EvictionChainsResolve) {
+  // Load to 45%: eviction chains happen but must all terminate.
+  ctable t(1 << 12);
+  const auto keys = test::unique_keys((1 << 12) * 45 / 100, 7);
+  test::parallel_insert(t, keys);
+  EXPECT_EQ(t.count(), keys.size());
+  for (const auto k : keys) ASSERT_TRUE(t.contains(k));
+}
+
+TEST(CuckooTable, CombinesDuplicatePairValues) {
+  cuckoo_table<pair_entry<combine_min>> t(1 << 10);
+  parallel_for(0, 4000, [&](std::size_t i) {
+    t.insert(kv64{1 + (i % 8), hash64(i) % 10000});
+  });
+  EXPECT_EQ(t.count(), 8u);
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    std::uint64_t expected = ~0ULL;
+    for (std::size_t i = 0; i < 4000; ++i) {
+      if (1 + (i % 8) == k) expected = std::min(expected, hash64(i) % 10000);
+    }
+    EXPECT_EQ(t.find(k).v, expected);
+  }
+}
+
+TEST(CuckooTable, ConcurrentDeletes) {
+  ctable t(1 << 13);
+  const auto keys = test::unique_keys(2500, 11);
+  test::parallel_insert(t, keys);
+  test::parallel_erase(t, std::vector<std::uint64_t>(keys.begin(), keys.begin() + 1500));
+  EXPECT_EQ(t.count(), 1000u);
+  for (std::size_t i = 1500; i < keys.size(); ++i) ASSERT_TRUE(t.contains(keys[i]));
+}
+
+TEST(CuckooTable, ThrowsWhenEffectivelyFull) {
+  ctable t(16);
+  EXPECT_THROW(
+      {
+        for (std::uint64_t k = 1; k <= 64; ++k) t.insert(k);
+      },
+      table_full_error);
+}
+
+}  // namespace
+}  // namespace phch

@@ -1,0 +1,114 @@
+// Bowyer–Watson triangulation: structural validity (CCW orientation,
+// neighbor symmetry, empty-circumcircle property), Euler count, point
+// location, cavity structure.
+#include <gtest/gtest.h>
+
+#include "phch/geometry/delaunay.h"
+#include "phch/geometry/point_generators.h"
+
+namespace phch::geometry {
+namespace {
+
+class DelaunayOnPointSets : public ::testing::TestWithParam<int> {
+ protected:
+  std::vector<point2d> make(std::size_t n) const {
+    return GetParam() == 0 ? cube2d_points(n, 7) : kuzmin_points(n, 7);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Distributions, DelaunayOnPointSets, ::testing::Values(0, 1));
+
+TEST_P(DelaunayOnPointSets, ValidAtSeveralSizes) {
+  for (const std::size_t n : {1, 2, 3, 10, 100, 1500}) {
+    const auto m = mesh::delaunay(make(n));
+    ASSERT_TRUE(m.check_valid()) << "n=" << n;
+  }
+}
+
+TEST_P(DelaunayOnPointSets, EulerTriangleCount) {
+  // With all n + 3 points in general position and a triangular hull (the
+  // super-triangle), live triangles = 2 * (n + 3) - 2 - 3 = 2n + 1.
+  const std::size_t n = 800;
+  const auto m = mesh::delaunay(make(n));
+  std::size_t alive = 0;
+  for (const auto& t : m.triangles()) alive += t.alive;
+  EXPECT_EQ(alive, 2 * n + 1);
+}
+
+TEST_P(DelaunayOnPointSets, LocateFindsContainingTriangle) {
+  const auto pts = make(500);
+  const auto m = mesh::delaunay(pts);
+  // Every input point must locate to a triangle having it as a vertex (it
+  // lies on that triangle's boundary/corner).
+  for (std::size_t i = 0; i < pts.size(); i += 7) {
+    const auto t = m.locate(pts[i], 0);
+    const auto& tr = m.triangles()[static_cast<std::size_t>(t)];
+    // Containment check: not strictly outside any edge.
+    for (int e = 0; e < 3; ++e) {
+      ASSERT_GE(orient2d(m.pt(tr.v[(e + 1) % 3]), m.pt(tr.v[(e + 2) % 3]), pts[i]), 0);
+    }
+  }
+}
+
+TEST_P(DelaunayOnPointSets, CavityIsNonEmptyAndConnectedToSeed) {
+  const auto pts = make(300);
+  const auto m = mesh::delaunay(pts);
+  const point2d q{0.5, 0.5};
+  const auto t0 = m.locate(q, 0);
+  const auto cavity = m.cavity_of(q, t0);
+  ASSERT_FALSE(cavity.empty());
+  EXPECT_EQ(cavity.front(), t0);
+  // Every cavity triangle's circumcircle contains q.
+  for (const auto t : cavity) {
+    const auto& tr = m.triangles()[static_cast<std::size_t>(t)];
+    EXPECT_GT(in_circle(m.pt(tr.v[0]), m.pt(tr.v[1]), m.pt(tr.v[2]), q), 0);
+  }
+}
+
+TEST(Delaunay, EmptyPointSet) {
+  const auto m = mesh::delaunay({});
+  std::size_t alive = 0;
+  for (const auto& t : m.triangles()) alive += t.alive;
+  EXPECT_EQ(alive, 1u);  // just the super-triangle
+  EXPECT_TRUE(m.check_valid());
+}
+
+TEST(Delaunay, DuplicateFreeGridPoints) {
+  // A small regular grid has many cocircular quadruples — the worst case
+  // for the incremental algorithm's predicates.
+  std::vector<point2d> pts;
+  for (int x = 0; x < 12; ++x)
+    for (int y = 0; y < 12; ++y)
+      pts.push_back(point2d{static_cast<double>(x), static_cast<double>(y)});
+  const auto m = mesh::delaunay(pts);
+  std::size_t alive = 0;
+  for (const auto& t : m.triangles()) alive += t.alive;
+  EXPECT_EQ(alive, 2 * pts.size() + 1);
+  // Orientation and symmetry must hold even if cocircularity makes the
+  // diagonal choice arbitrary.
+  for (std::size_t t = 0; t < m.triangles().size(); ++t) {
+    const auto& tr = m.triangles()[t];
+    if (!tr.alive) continue;
+    ASSERT_GT(orient2d(m.pt(tr.v[0]), m.pt(tr.v[1]), m.pt(tr.v[2])), 0);
+  }
+}
+
+TEST(Delaunay, InsertableClassifiesPoints) {
+  const auto m = mesh::delaunay(cube2d_points(50, 3));
+  EXPECT_TRUE(m.insertable({0.5, 0.5}));
+  EXPECT_FALSE(m.insertable({1e9, 1e9}));
+}
+
+TEST(Delaunay, DeterministicConstruction) {
+  const auto pts = cube2d_points(400, 9);
+  const auto a = mesh::delaunay(pts);
+  const auto b = mesh::delaunay(pts);
+  ASSERT_EQ(a.triangles().size(), b.triangles().size());
+  for (std::size_t t = 0; t < a.triangles().size(); ++t) {
+    ASSERT_EQ(a.triangles()[t].v, b.triangles()[t].v);
+    ASSERT_EQ(a.triangles()[t].alive, b.triangles()[t].alive);
+  }
+}
+
+}  // namespace
+}  // namespace phch::geometry

@@ -1,0 +1,172 @@
+// linearHash-D deletion (Theorem 2): set-difference semantics, the ordering
+// invariant after concurrent deletes, history-independence of the resulting
+// layout, and stress across repeated insert/delete phases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "phch/core/deterministic_table.h"
+#include "phch/core/serial_table.h"
+#include "phch/parallel/scheduler.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+using itable = deterministic_table<int_entry<>>;
+using test::ordering_invariant_holds;
+
+TEST(DeterministicDelete, RemovesOnlyTheRequestedKey) {
+  itable t(64);
+  t.insert(3);
+  t.insert(17);
+  t.insert(90);
+  t.erase(17);
+  EXPECT_FALSE(t.contains(17));
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_TRUE(t.contains(90));
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(DeterministicDelete, EraseAbsentKeyIsNoOp) {
+  itable t(64);
+  t.insert(5);
+  t.erase(6);
+  t.erase(int_entry<>::empty() - 2);
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_TRUE(t.contains(5));
+}
+
+TEST(DeterministicDelete, EraseFromEmptyTable) {
+  itable t(64);
+  t.erase(123);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(DeterministicDelete, SetDifferenceSemantics) {
+  const auto keys = test::unique_keys(8000, 17);
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 5000);
+  itable t(1 << 14);
+  test::parallel_insert(t, keys);
+  test::parallel_erase(t, dels);
+  std::set<std::uint64_t> expected(keys.begin(), keys.end());
+  for (const auto d : dels) expected.erase(d);
+  EXPECT_EQ(t.count(), expected.size());
+  for (const auto k : expected) ASSERT_TRUE(t.contains(k)) << k;
+  for (const auto d : dels) ASSERT_FALSE(t.contains(d)) << d;
+}
+
+TEST(DeterministicDelete, ConcurrentDuplicateDeletesOfSameKey) {
+  itable t(1 << 10);
+  const auto keys = test::unique_keys(200, 23);
+  test::parallel_insert(t, keys);
+  // Every key deleted 8 times concurrently.
+  parallel_for(0, keys.size() * 8, [&](std::size_t i) { t.erase(keys[i % keys.size()]); });
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST(DeterministicDelete, OrderingInvariantAfterConcurrentDeletes) {
+  const auto keys = test::unique_keys(12000, 31);
+  itable t(1 << 15);
+  test::parallel_insert(t, keys);
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 7000);
+  test::parallel_erase(t, dels);
+  EXPECT_TRUE(ordering_invariant_holds<int_entry<>>(t.raw_slots(), t.capacity()));
+}
+
+TEST(DeterministicDelete, LayoutMatchesSerialAfterDeletes) {
+  const auto keys = test::unique_keys(10000, 37);
+  const std::vector<std::uint64_t> dels(keys.begin() + 2000, keys.begin() + 9000);
+  itable par(1 << 14);
+  serial_table_hi<int_entry<>> ser(1 << 14);
+  test::parallel_insert(par, keys);
+  for (const auto k : keys) ser.insert(k);
+  test::parallel_erase(par, test::shuffled(dels, 5));
+  for (const auto d : dels) ser.erase(d);
+  for (std::size_t s = 0; s < par.capacity(); ++s) {
+    ASSERT_EQ(par.raw_slots()[s], ser.raw_slots()[s]) << "slot " << s;
+  }
+}
+
+TEST(DeterministicDelete, LayoutHistoryIndependentOfWhatWasDeleted) {
+  // Insert A ∪ B then delete B, versus insert A alone: identical layouts.
+  const auto all = test::unique_keys(6000, 41);
+  const std::vector<std::uint64_t> keep(all.begin(), all.begin() + 3000);
+  const std::vector<std::uint64_t> gone(all.begin() + 3000, all.end());
+  itable a(1 << 13);
+  test::parallel_insert(a, all);
+  test::parallel_erase(a, gone);
+  itable b(1 << 13);
+  test::parallel_insert(b, keep);
+  for (std::size_t s = 0; s < a.capacity(); ++s) {
+    ASSERT_EQ(a.raw_slots()[s], b.raw_slots()[s]) << "slot " << s;
+  }
+}
+
+TEST(DeterministicDelete, DeleteResultIdenticalAcrossThreadCounts) {
+  const auto keys = test::unique_keys(20000, 43);
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 12000);
+  std::vector<std::vector<std::uint64_t>> results;
+  scheduler& sched = scheduler::get();
+  const int original = sched.num_workers();
+  for (const int p : {1, 3, 8}) {
+    sched.set_num_workers(p);
+    itable t(1 << 15);
+    test::parallel_insert(t, keys);
+    test::parallel_erase(t, test::shuffled(dels, static_cast<std::uint64_t>(p)));
+    results.push_back(t.elements());
+  }
+  sched.set_num_workers(original);
+  ASSERT_EQ(results[0], results[1]);
+  ASSERT_EQ(results[0], results[2]);
+}
+
+TEST(DeterministicDelete, InterleavedPhasesStress) {
+  // Alternate insert and delete phases, checking against a std::set after
+  // every phase. Uses overlapping key ranges to force clustering.
+  itable t(1 << 13);
+  std::set<std::uint64_t> ref;
+  std::uint64_t round_seed = 1;
+  for (int round = 0; round < 12; ++round) {
+    const auto ins = test::dup_keys(2000, 1500, round_seed++);
+    test::parallel_insert(t, ins);
+    ref.insert(ins.begin(), ins.end());
+    ASSERT_EQ(t.count(), ref.size()) << "round " << round;
+
+    const auto del = test::dup_keys(1500, 1500, round_seed++);
+    test::parallel_erase(t, del);
+    for (const auto d : del) ref.erase(d);
+    ASSERT_EQ(t.count(), ref.size()) << "round " << round;
+    ASSERT_TRUE(ordering_invariant_holds<int_entry<>>(t.raw_slots(), t.capacity()));
+    auto elems = t.elements();
+    std::sort(elems.begin(), elems.end());
+    ASSERT_TRUE(std::equal(elems.begin(), elems.end(), ref.begin(), ref.end()));
+  }
+}
+
+TEST(DeterministicDelete, PairEntriesDeleteByKey) {
+  deterministic_table<pair_entry<combine_min>> t(1 << 10);
+  parallel_for(0, 500, [&](std::size_t i) { t.insert(kv64{i + 1, i * 10}); });
+  parallel_for(0, 250, [&](std::size_t i) { t.erase(i + 1); });
+  EXPECT_EQ(t.count(), 250u);
+  EXPECT_FALSE(t.contains(100));
+  EXPECT_TRUE(t.contains(300));
+  EXPECT_EQ(t.find(300).v, 2990u);
+}
+
+TEST(DeterministicDelete, ClusterHeavyDeletePattern) {
+  // Exponential-style duplicates hammer a few clusters; delete everything.
+  itable t(1 << 12);
+  const auto keys = test::dup_keys(6000, 50, 71);
+  test::parallel_insert(t, keys);
+  test::parallel_erase(t, keys);  // duplicate deletes of every key
+  EXPECT_EQ(t.count(), 0u);
+  for (std::size_t s = 0; s < t.capacity(); ++s) {
+    ASSERT_TRUE(int_entry<>::is_empty(t.raw_slots()[s]));
+  }
+}
+
+}  // namespace
+}  // namespace phch

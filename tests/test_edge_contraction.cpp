@@ -1,0 +1,141 @@
+// Edge contraction (Table 6): matching validity, relabeling, weight
+// conservation under additive combining, determinism of the output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "phch/apps/edge_contraction.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/graph/generators.h"
+
+namespace phch::apps {
+namespace {
+
+TEST(MatchingLabels, ProducesAValidMatching) {
+  const std::size_t n = 2000;
+  const auto edges = graph::random_k_edges(n, 5, 3);
+  const auto labels = matching_labels(n, edges);
+  ASSERT_EQ(labels.size(), n);
+  // Each label is min(v, partner): labels form groups of size <= 2, and if
+  // labels[v] == u != v then labels[u] == u (the partner agrees).
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto l = labels[v];
+    ASSERT_LE(l, v);
+    if (l != v) {
+      ASSERT_EQ(labels[l], l) << "partner disagrees at " << v;
+    }
+  }
+}
+
+TEST(MatchingLabels, MatchingIsMaximal) {
+  // No edge may connect two distinct unmatched vertices.
+  const std::size_t n = 1000;
+  const auto edges = graph::random_k_edges(n, 5, 5);
+  const auto labels = matching_labels(n, edges);
+  std::vector<bool> matched(n, false);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (labels[v] != v) {
+      matched[v] = true;
+      matched[labels[v]] = true;
+    }
+  }
+  for (const auto& e : edges) {
+    if (e.u != e.v) {
+      EXPECT_TRUE(matched[e.u] || matched[e.v])
+          << "edge (" << e.u << "," << e.v << ") joins two unmatched vertices";
+    }
+  }
+}
+
+TEST(EdgeKey, CanonicalizesOrientation) {
+  EXPECT_EQ(edge_key(3, 9), edge_key(9, 3));
+  EXPECT_NE(edge_key(3, 9), edge_key(3, 10));
+}
+
+std::map<std::uint64_t, std::uint64_t> reference_contraction(
+    const std::vector<graph::weighted_edge>& edges,
+    const std::vector<graph::vertex_id>& labels) {
+  std::map<std::uint64_t, std::uint64_t> ref;
+  for (const auto& e : edges) {
+    const auto nu = labels[e.u];
+    const auto nv = labels[e.v];
+    if (nu != nv) ref[edge_key(nu, nv)] += e.w;
+  }
+  return ref;
+}
+
+class ContractionTables : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::size_t n = 1500;
+    auto e = graph::random_k_edges(n, 5, 7);
+    edges_ = graph::with_random_weights(e, 100, 9);
+    labels_ = matching_labels(n, e);
+    ref_ = reference_contraction(edges_, labels_);
+  }
+  std::vector<graph::weighted_edge> edges_;
+  std::vector<graph::vertex_id> labels_;
+  std::map<std::uint64_t, std::uint64_t> ref_;
+
+  template <typename Table>
+  void check() {
+    const auto out = contract_edges<Table>(edges_, labels_, 1 << 15);
+    ASSERT_EQ(out.size(), ref_.size());
+    for (const auto& kv : out) {
+      auto it = ref_.find(kv.k);
+      ASSERT_NE(it, ref_.end()) << kv.k;
+      EXPECT_EQ(kv.v, it->second) << "weight mismatch for key " << kv.k;
+    }
+  }
+};
+
+TEST_F(ContractionTables, DeterministicTableMatchesReference) {
+  check<deterministic_table<pair_entry<combine_add>>>();
+}
+TEST_F(ContractionTables, NdTableMatchesReference) {
+  check<nd_linear_table<pair_entry<combine_add>>>();
+}
+TEST_F(ContractionTables, CuckooMatchesReference) {
+  check<cuckoo_table<pair_entry<combine_add>>>();
+}
+TEST_F(ContractionTables, ChainedCrMatchesReference) {
+  check<chained_table<pair_entry<combine_add>, true>>();
+}
+
+TEST_F(ContractionTables, DeterministicOutputOrderIsStable) {
+  using dt = deterministic_table<pair_entry<combine_add>>;
+  const auto a = contract_edges<dt>(edges_, labels_, 1 << 15);
+  const auto b = contract_edges<dt>(edges_, labels_, 1 << 15);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].k, b[i].k);
+    ASSERT_EQ(a[i].v, b[i].v);
+  }
+}
+
+TEST(EdgeContraction, SelfEdgesAfterRelabelAreDropped) {
+  // A matched pair's internal edge must disappear.
+  std::vector<graph::weighted_edge> edges = {{0, 1, 5}, {1, 2, 7}};
+  std::vector<graph::vertex_id> labels = {0, 0, 2};  // 0 and 1 merged
+  const auto out =
+      contract_edges<deterministic_table<pair_entry<combine_add>>>(edges, labels, 64);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].k, edge_key(0, 2));
+  EXPECT_EQ(out[0].v, 7u);
+}
+
+TEST(EdgeContraction, ParallelEdgesMergeWeights) {
+  std::vector<graph::weighted_edge> edges = {{0, 2, 5}, {1, 2, 7}, {2, 0, 3}};
+  std::vector<graph::vertex_id> labels = {0, 0, 2};
+  const auto out =
+      contract_edges<deterministic_table<pair_entry<combine_add>>>(edges, labels, 64);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].v, 15u);
+}
+
+}  // namespace
+}  // namespace phch::apps

@@ -1,0 +1,128 @@
+// Entry trait policies: sentinel handling, hashing determinism, priority
+// total order, combine laws (commutativity/associativity).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "phch/core/entry_traits.h"
+
+namespace phch {
+namespace {
+
+TEST(IntEntry, Sentinels) {
+  EXPECT_TRUE(int_entry<>::is_empty(int_entry<>::empty()));
+  EXPECT_FALSE(int_entry<>::is_empty(0));
+  EXPECT_FALSE(int_entry<>::is_empty(int_entry<>::busy()));
+  EXPECT_NE(int_entry<>::empty(), int_entry<>::busy());
+}
+
+TEST(IntEntry, PriorityIsStrictTotalOrder) {
+  EXPECT_TRUE(int_entry<>::priority_less(1, 2));
+  EXPECT_FALSE(int_entry<>::priority_less(2, 1));
+  EXPECT_FALSE(int_entry<>::priority_less(2, 2));
+}
+
+TEST(IntEntry, HashIsDeterministicAndSpreads) {
+  EXPECT_EQ(int_entry<>::hash(12345), int_entry<>::hash(12345));
+  // Consecutive keys should scatter across the full 64-bit range.
+  int high_bits_differ = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    if ((int_entry<>::hash(k) >> 32) != (int_entry<>::hash(k + 1) >> 32))
+      ++high_bits_differ;
+  }
+  EXPECT_GE(high_bits_differ, 60);
+}
+
+TEST(IntEntry, Narrow32BitVariant) {
+  using e32 = int_entry<std::uint32_t>;
+  EXPECT_TRUE(e32::is_empty(e32::empty()));
+  EXPECT_EQ(e32::key(77u), 77u);
+}
+
+TEST(PairEntry, SixteenBytesNoPadding) {
+  static_assert(sizeof(kv64) == 16);
+  static_assert(alignof(kv64) == 16);
+  EXPECT_TRUE(pair_entry<>::is_empty(pair_entry<>::empty()));
+  EXPECT_FALSE(pair_entry<>::is_empty(kv64{1, 2}));
+}
+
+TEST(PairEntry, EmptyDetectionIgnoresValueField) {
+  // Only the key marks emptiness; a max-key slot is empty whatever its value
+  // half holds mid-CAS.
+  EXPECT_TRUE(pair_entry<>::is_empty(kv64{pair_entry<>::empty().k, 12345}));
+}
+
+TEST(PairEntry, CombineLaws) {
+  using pe = pair_entry<combine_min>;
+  const kv64 a{5, 10};
+  const kv64 b{5, 3};
+  const kv64 ab = pe::combine(a, b);
+  const kv64 ba = pe::combine(b, a);
+  EXPECT_EQ(ab.v, 3u);
+  EXPECT_EQ(ab.v, ba.v);  // commutative
+  EXPECT_EQ(ab.k, 5u);    // key preserved
+  const kv64 c{5, 7};
+  EXPECT_EQ(pe::combine(pe::combine(a, b), c).v, pe::combine(a, pe::combine(b, c)).v);
+}
+
+TEST(PairEntry, CombineAddAndMax) {
+  EXPECT_EQ(pair_entry<combine_add>::combine(kv64{1, 4}, kv64{1, 6}).v, 10u);
+  EXPECT_EQ(pair_entry<combine_max>::combine(kv64{1, 4}, kv64{1, 6}).v, 6u);
+}
+
+TEST(PairEntry, CombineInplaceAdd) {
+  kv64 slot{9, 5};
+  pair_entry<combine_add>::combine_inplace(&slot, kv64{9, 7});
+  EXPECT_EQ(slot.v, 12u);
+  EXPECT_EQ(slot.k, 9u);
+}
+
+TEST(PairEntry, CombineInplaceMin) {
+  kv64 slot{9, 5};
+  pair_entry<combine_min>::combine_inplace(&slot, kv64{9, 7});
+  EXPECT_EQ(slot.v, 5u);
+  pair_entry<combine_min>::combine_inplace(&slot, kv64{9, 2});
+  EXPECT_EQ(slot.v, 2u);
+}
+
+TEST(StringEntry, HashAndEqualityAreContentBased) {
+  const char a[] = "hello";
+  const char b[] = "hello";
+  ASSERT_NE(static_cast<const void*>(a), static_cast<const void*>(b));
+  EXPECT_EQ(string_entry::hash(a), string_entry::hash(b));
+  EXPECT_TRUE(string_entry::key_equal(a, b));
+  EXPECT_FALSE(string_entry::key_equal(a, "hellp"));
+}
+
+TEST(StringEntry, PriorityIsLexicographic) {
+  EXPECT_TRUE(string_entry::priority_less("abc", "abd"));
+  EXPECT_TRUE(string_entry::priority_less("ab", "abc"));
+  EXPECT_FALSE(string_entry::priority_less("b", "a"));
+}
+
+TEST(StringPairEntry, KeyThroughIndirection) {
+  const string_kv rec{"word", 42};
+  EXPECT_STREQ(string_pair_entry::key(&rec), "word");
+  const string_kv lo{"word", 10};
+  EXPECT_EQ(string_pair_entry::combine(&rec, &lo), &lo);
+  EXPECT_EQ(string_pair_entry::combine(&lo, &rec), &lo);
+}
+
+TEST(PackedPairEntry, PackAndUnpack) {
+  using pp = packed_pair_entry<combine_min>;
+  const auto e = pp::make(0xdeadbeefu, 0x1234u);
+  EXPECT_EQ(pp::key(e), 0xdeadbeefu);
+  EXPECT_EQ(pp::value_of(e), 0x1234u);
+  EXPECT_FALSE(pp::is_empty(e));
+  EXPECT_TRUE(pp::is_empty(pp::empty()));
+}
+
+TEST(PackedPairEntry, CombineMinOnValueHalf) {
+  using pp = packed_pair_entry<combine_min>;
+  const auto merged = pp::combine(pp::make(7, 100), pp::make(7, 30));
+  EXPECT_EQ(pp::key(merged), 7u);
+  EXPECT_EQ(pp::value_of(merged), 30u);
+}
+
+}  // namespace
+}  // namespace phch

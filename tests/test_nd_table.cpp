@@ -1,0 +1,125 @@
+// linearHash-ND: correct set semantics (though history-dependent layout),
+// back-shift deletion, in-place combining.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "phch/core/nd_linear_table.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+using ndtable = nd_linear_table<int_entry<>>;
+
+TEST(NdTable, InsertFindEraseBasics) {
+  ndtable t(64);
+  t.insert(10);
+  t.insert(20);
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(20));
+  EXPECT_FALSE(t.contains(30));
+  t.erase(10);
+  EXPECT_FALSE(t.contains(10));
+  EXPECT_TRUE(t.contains(20));
+}
+
+TEST(NdTable, SetSemanticsUnderConcurrency) {
+  ndtable t(1 << 14);
+  const auto keys = test::dup_keys(12000, 8000, 3);
+  test::parallel_insert(t, keys);
+  const std::set<std::uint64_t> expected(keys.begin(), keys.end());
+  EXPECT_EQ(t.count(), expected.size());
+  for (const auto k : expected) ASSERT_TRUE(t.contains(k));
+  auto elems = t.elements();
+  std::sort(elems.begin(), elems.end());
+  EXPECT_TRUE(std::equal(elems.begin(), elems.end(), expected.begin(), expected.end()));
+}
+
+TEST(NdTable, BackShiftDeletionLeavesNoTombstones) {
+  // After deleting everything, the table must be entirely empty slots (no
+  // markers), so a full re-insert behaves like a fresh table.
+  ndtable t(1 << 10);
+  const auto keys = test::unique_keys(400, 9);
+  test::parallel_insert(t, keys);
+  test::parallel_erase(t, keys);
+  for (std::size_t s = 0; s < t.capacity(); ++s) {
+    ASSERT_TRUE(int_entry<>::is_empty(t.raw_slots()[s]));
+  }
+}
+
+TEST(NdTable, DeleteKeepsOthersFindable) {
+  ndtable t(1 << 12);
+  const auto keys = test::unique_keys(3000, 13);
+  test::parallel_insert(t, keys);
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 1500);
+  test::parallel_erase(t, dels);
+  for (std::size_t i = 1500; i < keys.size(); ++i) {
+    ASSERT_TRUE(t.contains(keys[i])) << keys[i];
+  }
+  for (std::size_t i = 0; i < 1500; ++i) ASSERT_FALSE(t.contains(keys[i]));
+}
+
+TEST(NdTable, NoProbePathHoles) {
+  // Reachability invariant of linear probing with back-shift deletes: the
+  // probe path from an element's home to its slot has no empty cells.
+  ndtable t(1 << 12);
+  const auto keys = test::unique_keys(2500, 19);
+  test::parallel_insert(t, keys);
+  test::parallel_erase(
+      t, std::vector<std::uint64_t>(keys.begin(), keys.begin() + 1200));
+  const auto* slots = t.raw_slots();
+  const std::size_t mask = t.capacity() - 1;
+  for (std::size_t j = 0; j < t.capacity(); ++j) {
+    if (int_entry<>::is_empty(slots[j])) continue;
+    const std::size_t hv = int_entry<>::hash(slots[j]) & mask;
+    for (std::size_t k = hv; k != j; k = (k + 1) & mask) {
+      ASSERT_FALSE(int_entry<>::is_empty(slots[k])) << "hole before " << slots[j];
+    }
+  }
+}
+
+TEST(NdTable, DuplicateKeysNotReplaced) {
+  nd_linear_table<pair_entry<combine_min>> t(64);
+  t.insert(kv64{5, 100});
+  t.insert(kv64{5, 50});  // combine_min keeps 50
+  EXPECT_EQ(t.find(5).v, 50u);
+}
+
+TEST(NdTable, CombineAddUsesInPlaceXadd) {
+  nd_linear_table<pair_entry<combine_add>> t(1 << 10);
+  parallel_for(0, 30000, [&](std::size_t i) { t.insert(kv64{1 + (i % 5), 1}); });
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 1; k <= 5; ++k) total += t.find(k).v;
+  EXPECT_EQ(total, 30000u);
+}
+
+TEST(NdTable, StressInsertDeletePhases) {
+  ndtable t(1 << 13);
+  std::set<std::uint64_t> ref;
+  for (int round = 0; round < 10; ++round) {
+    const auto ins = test::dup_keys(1500, 1000, 100 + round);
+    test::parallel_insert(t, ins);
+    ref.insert(ins.begin(), ins.end());
+    const auto del = test::dup_keys(1200, 1000, 200 + round);
+    test::parallel_erase(t, del);
+    for (const auto d : del) ref.erase(d);
+    ASSERT_EQ(t.count(), ref.size()) << round;
+    auto elems = t.elements();
+    std::sort(elems.begin(), elems.end());
+    ASSERT_TRUE(std::equal(elems.begin(), elems.end(), ref.begin(), ref.end()));
+  }
+}
+
+TEST(NdTable, ThrowsWhenFull) {
+  ndtable t(16);
+  EXPECT_THROW(
+      {
+        for (std::uint64_t k = 1; k <= 64; ++k) t.insert(k);
+      },
+      table_full_error);
+}
+
+}  // namespace
+}  // namespace phch

@@ -1,0 +1,119 @@
+// PBBS-format file I/O: round trips, header validation, malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "phch/geometry/point_generators.h"
+#include "phch/graph/generators.h"
+#include "phch/io/pbbs_io.h"
+#include "phch/workloads/sequences.h"
+
+namespace phch::io {
+namespace {
+
+class PbbsIo : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("phch_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PbbsIo, IntSeqRoundTrip) {
+  const auto seq = workloads::random_int_seq(5000, 1);
+  write_int_seq(path("a.seq"), seq);
+  EXPECT_EQ(read_int_seq(path("a.seq")), seq);
+}
+
+TEST_F(PbbsIo, EmptyIntSeq) {
+  write_int_seq(path("e.seq"), {});
+  EXPECT_TRUE(read_int_seq(path("e.seq")).empty());
+}
+
+TEST_F(PbbsIo, PairSeqRoundTrip) {
+  const auto seq = workloads::random_pair_seq(3000, 2);
+  write_pair_seq(path("p.seq"), seq);
+  const auto back = read_pair_seq(path("p.seq"));
+  ASSERT_EQ(back.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(back[i].k, seq[i].k);
+    ASSERT_EQ(back[i].v, seq[i].v);
+  }
+}
+
+TEST_F(PbbsIo, EdgeRoundTrip) {
+  const auto edges = graph::random_k_edges(1000, 3, 5);
+  write_edges(path("g.edges"), edges);
+  EXPECT_EQ(read_edges(path("g.edges")), edges);
+}
+
+TEST_F(PbbsIo, WeightedEdgeRoundTrip) {
+  const auto edges = graph::with_random_weights(graph::random_k_edges(500, 3, 5), 100, 7);
+  write_weighted_edges(path("g.wedges"), edges);
+  const auto back = read_weighted_edges(path("g.wedges"));
+  ASSERT_EQ(back.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ASSERT_EQ(back[i].u, edges[i].u);
+    ASSERT_EQ(back[i].v, edges[i].v);
+    ASSERT_EQ(back[i].w, edges[i].w);
+  }
+}
+
+TEST_F(PbbsIo, PointsRoundTripExactly) {
+  // %.17g round-trips doubles bit-exactly.
+  const auto pts = geometry::kuzmin_points(2000, 3);
+  write_points(path("pts"), pts);
+  const auto back = read_points(path("pts"));
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_EQ(back[i].x, pts[i].x);
+    ASSERT_EQ(back[i].y, pts[i].y);
+  }
+}
+
+TEST_F(PbbsIo, TextRoundTripIncludingBinary) {
+  std::string text = "hello\nworld";
+  text.push_back('\0');
+  text += "\xff\x01 tail";
+  write_text(path("t.txt"), text);
+  EXPECT_EQ(read_text(path("t.txt")), text);
+}
+
+TEST_F(PbbsIo, MissingFileThrows) {
+  EXPECT_THROW(read_int_seq(path("nonexistent")), std::runtime_error);
+}
+
+TEST_F(PbbsIo, WrongHeaderThrows) {
+  {
+    std::ofstream out(path("bad.seq"));
+    out << "EdgeArray\n1 2\n";
+  }
+  EXPECT_THROW(read_int_seq(path("bad.seq")), std::runtime_error);
+}
+
+TEST_F(PbbsIo, TrailingGarbageThrows) {
+  {
+    std::ofstream out(path("garbage.seq"));
+    out << "sequenceInt\n1\n2\nnot-a-number\n";
+  }
+  EXPECT_THROW(read_int_seq(path("garbage.seq")), std::runtime_error);
+}
+
+TEST_F(PbbsIo, EdgesWithTruncatedRecordThrow) {
+  {
+    std::ofstream out(path("trunc.edges"));
+    out << "EdgeArray\n1 2\n3\n";  // dangling endpoint
+  }
+  EXPECT_THROW(read_edges(path("trunc.edges")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace phch::io

@@ -1,0 +1,122 @@
+// Geometric predicates: signs, symmetry, near-degenerate stability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phch/geometry/predicates.h"
+#include "phch/utils/rand.h"
+
+namespace phch::geometry {
+namespace {
+
+TEST(Orient2d, BasicSigns) {
+  EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0);  // CCW
+  EXPECT_LT(orient2d({0, 0}, {0, 1}, {1, 0}), 0);  // CW
+  EXPECT_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0);  // collinear
+}
+
+TEST(Orient2d, CyclicPermutationPreservesSign) {
+  const point2d a{0.1, 0.7};
+  const point2d b{2.3, -0.4};
+  const point2d c{1.1, 5.2};
+  EXPECT_GT(orient2d(a, b, c) * orient2d(b, c, a), 0);
+  EXPECT_GT(orient2d(b, c, a) * orient2d(c, a, b), 0);
+}
+
+TEST(Orient2d, SwapFlipsSign) {
+  const point2d a{0.3, 0.9};
+  const point2d b{1.7, 0.2};
+  const point2d c{0.5, 2.2};
+  EXPECT_LT(orient2d(a, b, c) * orient2d(b, a, c), 0);
+}
+
+TEST(Orient2d, NearlyCollinearIsConsistent) {
+  // Points almost on a line: the filtered predicate must give the same sign
+  // as extended-precision evaluation, and be antisymmetric.
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const double t = static_cast<double>(hash64(i) % 1000) / 1000.0;
+    const point2d a{0, 0};
+    const point2d b{1, 1};
+    const point2d c{t, t + 1e-15 * (static_cast<double>(hash64(i ^ 7) % 3) - 1.0)};
+    const double s1 = orient2d(a, b, c);
+    const double s2 = orient2d(b, a, c);
+    ASSERT_LE(s1 * s2, 0.0) << i;  // opposite or both zero
+  }
+}
+
+TEST(InCircle, BasicSigns) {
+  // Unit circle through (1,0), (0,1), (-1,0); center (0,0).
+  const point2d a{1, 0};
+  const point2d b{0, 1};
+  const point2d c{-1, 0};
+  EXPECT_GT(in_circle(a, b, c, {0, 0}), 0);          // center is inside
+  EXPECT_LT(in_circle(a, b, c, {2, 2}), 0);          // far point outside
+  EXPECT_EQ(in_circle(a, b, c, {0, -1}), 0);         // on the circle
+}
+
+TEST(InCircle, SymmetricUnderCyclicRotation) {
+  const point2d a{0.2, 0.1};
+  const point2d b{1.9, 0.3};
+  const point2d c{1.0, 2.0};
+  const point2d d{1.0, 0.8};
+  const double s = in_circle(a, b, c, d);
+  EXPECT_GT(s * in_circle(b, c, a, d), 0);
+  EXPECT_GT(s * in_circle(c, a, b, d), 0);
+}
+
+TEST(Circumcenter, EquidistantFromVertices) {
+  const rng r(5);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const point2d a{r.ith_double(3 * i), r.ith_double(3 * i + 1)};
+    const point2d b{a.x + 0.1 + r.ith_double(7 * i), r.ith_double(7 * i + 2)};
+    const point2d c{r.ith_double(11 * i + 1), b.y + 0.2 + r.ith_double(11 * i + 2)};
+    if (std::fabs(orient2d(a, b, c)) < 1e-6) continue;
+    const point2d cc = circumcenter(a, b, c);
+    const double ra = dist(cc, a);
+    ASSERT_NEAR(dist(cc, b), ra, 1e-7 * (1 + ra));
+    ASSERT_NEAR(dist(cc, c), ra, 1e-7 * (1 + ra));
+  }
+}
+
+TEST(MinAngle, EquilateralIsSixtyDegrees) {
+  const point2d a{0, 0};
+  const point2d b{1, 0};
+  const point2d c{0.5, std::sqrt(3.0) / 2};
+  EXPECT_NEAR(min_angle(a, b, c), M_PI / 3, 1e-9);
+}
+
+TEST(MinAngle, RightIsoscelesIsFortyFive) {
+  EXPECT_NEAR(min_angle({0, 0}, {1, 0}, {0, 1}), M_PI / 4, 1e-9);
+}
+
+TEST(RadiusEdgeRatio, EquilateralIsOptimal) {
+  const point2d a{0, 0};
+  const point2d b{1, 0};
+  const point2d c{0.5, std::sqrt(3.0) / 2};
+  // For the equilateral triangle, R/l = 1/sqrt(3).
+  EXPECT_NEAR(radius_edge_ratio(a, b, c), 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(RadiusEdgeRatio, SkinnyTrianglesScoreHigh) {
+  EXPECT_GT(radius_edge_ratio({0, 0}, {1, 0}, {0.5, 0.01}), 5.0);
+  EXPECT_TRUE(std::isinf(radius_edge_ratio({0, 0}, {1, 1}, {2, 2})));
+}
+
+TEST(RadiusEdgeRatio, MatchesRuppertBoundAtThreshold) {
+  // A triangle with min angle exactly alpha has ratio 1/(2 sin alpha).
+  const double alpha = 25.0 * M_PI / 180.0;
+  // Construct an isosceles triangle with apex angle alpha at origin... use
+  // circle geometry: inscribe a chord subtending 2*alpha.
+  const point2d a{std::cos(0.0), std::sin(0.0)};
+  const point2d b{std::cos(2 * alpha), std::sin(2 * alpha)};
+  const point2d c{std::cos(M_PI), std::sin(M_PI)};
+  // Angle at c subtending chord ab is alpha (inscribed angle theorem); this
+  // is the minimum angle here, and R = 1.
+  EXPECT_NEAR(min_angle(a, b, c), alpha, 1e-9);
+  const double shortest = std::min({dist(a, b), dist(b, c), dist(a, c)});
+  EXPECT_NEAR(radius_edge_ratio(a, b, c), 1.0 / shortest, 1e-9);
+  EXPECT_NEAR(radius_edge_ratio(a, b, c), 1.0 / (2 * std::sin(alpha)), 1e-9);
+}
+
+}  // namespace
+}  // namespace phch::geometry

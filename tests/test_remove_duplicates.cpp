@@ -1,0 +1,86 @@
+// Remove duplicates (Table 3): exact set output, deterministic order with
+// linearHash-D, works across all table types and key kinds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "phch/apps/remove_duplicates.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+
+namespace phch::apps {
+namespace {
+
+TEST(RemoveDuplicates, ExactSetOnUniformKeys) {
+  const auto seq = workloads::random_int_seq(50000, 3);
+  auto out = remove_duplicates<deterministic_table<int_entry<>>>(seq, 1 << 17);
+  const std::set<std::uint64_t> ref(seq.begin(), seq.end());
+  ASSERT_EQ(out.size(), ref.size());
+  std::sort(out.begin(), out.end());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), ref.begin(), ref.end()));
+}
+
+TEST(RemoveDuplicates, ExactSetOnExponentialKeys) {
+  const auto seq = workloads::expt_int_seq(50000, 5);
+  const auto out = remove_duplicates<deterministic_table<int_entry<>>>(seq, 1 << 17);
+  EXPECT_EQ(out.size(), std::set<std::uint64_t>(seq.begin(), seq.end()).size());
+}
+
+TEST(RemoveDuplicates, DeterministicOutputOrder) {
+  const auto seq = workloads::expt_int_seq(30000, 7);
+  const auto a = remove_duplicates<deterministic_table<int_entry<>>>(seq, 1 << 16);
+  const auto b = remove_duplicates<deterministic_table<int_entry<>>>(seq, 1 << 16);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RemoveDuplicates, OutputOrderIndependentOfInputOrder) {
+  // The hallmark of history-independence: permuting the input leaves the
+  // output sequence unchanged.
+  auto seq = workloads::random_int_seq(20000, 9);
+  const auto a = remove_duplicates<deterministic_table<int_entry<>>>(seq, 1 << 16);
+  std::reverse(seq.begin(), seq.end());
+  const auto b = remove_duplicates<deterministic_table<int_entry<>>>(seq, 1 << 16);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RemoveDuplicates, NonDeterministicTablesStillGetTheSetRight) {
+  const auto seq = workloads::expt_int_seq(30000, 11);
+  const std::size_t expected = std::set<std::uint64_t>(seq.begin(), seq.end()).size();
+  EXPECT_EQ((remove_duplicates<nd_linear_table<int_entry<>>>(seq, 1 << 16)).size(),
+            expected);
+  EXPECT_EQ((remove_duplicates<cuckoo_table<int_entry<>>>(seq, 1 << 16)).size(),
+            expected);
+  EXPECT_EQ((remove_duplicates<chained_table<int_entry<>, true>>(seq, 1 << 16)).size(),
+            expected);
+}
+
+TEST(RemoveDuplicates, StringKeysDedupByContent) {
+  const auto words = workloads::trigram_string_seq(20000, 13);
+  const auto out =
+      remove_duplicates<deterministic_table<string_entry>>(words.keys, 1 << 16);
+  std::set<std::string> ref;
+  for (const char* w : words.keys) ref.insert(w);
+  EXPECT_EQ(out.size(), ref.size());
+  for (const char* w : out) EXPECT_TRUE(ref.count(w));
+}
+
+TEST(RemoveDuplicates, EmptyInput) {
+  const std::vector<std::uint64_t> empty;
+  EXPECT_TRUE((remove_duplicates<deterministic_table<int_entry<>>>(empty, 16)).empty());
+}
+
+TEST(RemoveDuplicates, AllIdenticalElements) {
+  const std::vector<std::uint64_t> same(10000, 42);
+  const auto out = remove_duplicates<deterministic_table<int_entry<>>>(same, 1 << 10);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+}
+
+}  // namespace
+}  // namespace phch::apps

@@ -1,0 +1,104 @@
+// parallel_sort / counting sort / radix sort against std::sort references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "phch/parallel/sort.h"
+#include "phch/utils/rand.h"
+
+namespace phch {
+namespace {
+
+class SortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSweep,
+                         ::testing::Values(0, 1, 2, 100, 4095, 4096, 4097, 50000, 300000));
+
+TEST_P(SortSweep, MatchesStdSort) {
+  const std::size_t n = GetParam();
+  auto v = tabulate(n, [](std::size_t i) { return hash64(i); });
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(SortSweep, CustomComparator) {
+  const std::size_t n = GetParam();
+  auto v = tabulate(n, [](std::size_t i) { return hash64(i) % 1000; });
+  auto expected = v;
+  std::sort(expected.begin(), expected.end(), std::greater<>{});
+  parallel_sort(v, std::greater<>{});
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Sort, AlreadySortedAndReversed) {
+  auto inc = iota(100000);
+  auto v = inc;
+  parallel_sort(v);
+  EXPECT_EQ(v, inc);
+  std::vector<std::size_t> rev(inc.rbegin(), inc.rend());
+  parallel_sort(rev);
+  EXPECT_EQ(rev, inc);
+}
+
+TEST(Sort, AllEqualKeys) {
+  std::vector<int> v(50000, 7);
+  parallel_sort(v);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](int x) { return x == 7; }));
+}
+
+TEST(CountingSort, StableAndCorrect) {
+  struct item {
+    std::uint32_t key;
+    std::uint32_t seq;
+    bool operator==(const item&) const = default;
+  };
+  const std::size_t n = 100000;
+  auto v = tabulate(n, [](std::size_t i) {
+    return item{static_cast<std::uint32_t>(hash64(i) % 64),
+                static_cast<std::uint32_t>(i)};
+  });
+  const auto out = stable_counting_sort(v, 64, [](const item& x) {
+    return static_cast<std::size_t>(x.key);
+  });
+  auto expected = v;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const item& a, const item& b) { return a.key < b.key; });
+  EXPECT_EQ(out, expected);
+}
+
+TEST(RadixSort, FullWidth64BitKeys) {
+  auto v = tabulate(200000, [](std::size_t i) { return hash64(i); });
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  radix_sort(v, 64, [](std::uint64_t x) { return x; });
+  EXPECT_EQ(v, expected);
+}
+
+TEST(RadixSort, PartialWidthSortsByLowBits) {
+  struct rec {
+    std::uint32_t key;
+    std::uint32_t payload;
+    bool operator==(const rec&) const = default;
+  };
+  auto v = tabulate(50000, [](std::size_t i) {
+    return rec{static_cast<std::uint32_t>(hash64(i)), static_cast<std::uint32_t>(i)};
+  });
+  auto expected = v;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const rec& a, const rec& b) { return a.key < b.key; });
+  radix_sort(v, 32, [](const rec& x) { return x.key; });
+  EXPECT_EQ(v, expected);
+}
+
+TEST(Sort, SortedHelperReturnsSortedCopy) {
+  const auto v = tabulate(10000, [](std::size_t i) { return hash64(i) % 500; });
+  const auto s = sorted(v);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_EQ(s.size(), v.size());
+}
+
+}  // namespace
+}  // namespace phch

@@ -1,0 +1,145 @@
+// Spanning forest (Table 8): forest validity (size, acyclicity, spanning),
+// agreement between array and deterministic-hash variants, determinism
+// across thread counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "phch/apps/spanning_forest.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/graph/generators.h"
+#include "phch/parallel/scheduler.h"
+
+namespace phch::apps {
+namespace {
+
+using det_res = deterministic_table<packed_pair_entry<combine_min>>;
+
+// Number of connected components via a simple serial DSU.
+std::size_t num_components(std::size_t n, const std::vector<graph::edge>& edges) {
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::uint32_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  std::size_t comps = n;
+  for (const auto& e : edges) {
+    const auto a = find(e.u);
+    const auto b = find(e.v);
+    if (a != b) {
+      parent[a] = b;
+      --comps;
+    }
+  }
+  return comps;
+}
+
+// A valid spanning forest has exactly n - #components edges and is acyclic.
+void expect_valid_forest(std::size_t n, const std::vector<graph::edge>& edges,
+                         const std::vector<std::size_t>& forest) {
+  EXPECT_EQ(forest.size(), n - num_components(n, edges));
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::uint32_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  for (const auto idx : forest) {
+    ASSERT_LT(idx, edges.size());
+    const auto a = find(edges[idx].u);
+    const auto b = find(edges[idx].v);
+    ASSERT_NE(a, b) << "cycle edge " << idx;
+    parent[a] = b;
+  }
+}
+
+class SfOnGraphs : public ::testing::TestWithParam<int> {
+ protected:
+  std::pair<std::size_t, std::vector<graph::edge>> make() const {
+    switch (GetParam()) {
+      case 0:
+        return {6 * 6 * 6, graph::grid3d_edges(6)};
+      case 1:
+        return {3000, graph::random_k_edges(3000, 5, 3)};
+      case 2:
+        return {1 << 11, graph::rmat_edges(11, 12000, 7)};
+      default: {
+        // Disconnected: two cliques.
+        std::vector<graph::edge> e;
+        for (std::uint32_t i = 0; i < 10; ++i)
+          for (std::uint32_t j = i + 1; j < 10; ++j) {
+            e.push_back({i, j});
+            e.push_back({i + 20, j + 20});
+          }
+        return {40, e};
+      }
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SfOnGraphs, ::testing::Values(0, 1, 2, 3));
+
+TEST_P(SfOnGraphs, SerialForestIsValid) {
+  const auto [n, edges] = make();
+  expect_valid_forest(n, edges, serial_spanning_forest(n, edges));
+}
+
+TEST_P(SfOnGraphs, ArrayForestIsValid) {
+  const auto [n, edges] = make();
+  expect_valid_forest(n, edges, array_spanning_forest(n, edges));
+}
+
+TEST_P(SfOnGraphs, HashForestIsValid) {
+  const auto [n, edges] = make();
+  expect_valid_forest(n, edges, hash_spanning_forest<det_res>(n, edges));
+}
+
+TEST_P(SfOnGraphs, ArrayAndHashVariantsAgreeExactly) {
+  const auto [n, edges] = make();
+  EXPECT_EQ(array_spanning_forest(n, edges), hash_spanning_forest<det_res>(n, edges));
+}
+
+TEST_P(SfOnGraphs, DeterministicAcrossThreadCounts) {
+  const auto [n, edges] = make();
+  scheduler& sched = scheduler::get();
+  const int original = sched.num_workers();
+  sched.set_num_workers(1);
+  const auto f1 = hash_spanning_forest<det_res>(n, edges);
+  sched.set_num_workers(6);
+  const auto f6 = hash_spanning_forest<det_res>(n, edges);
+  sched.set_num_workers(original);
+  EXPECT_EQ(f1, f6);
+}
+
+TEST(SpanningForest, OtherTablesStillProduceValidForests) {
+  const std::size_t n = 2000;
+  const auto edges = graph::random_k_edges(n, 5, 11);
+  expect_valid_forest(
+      n, edges,
+      hash_spanning_forest<nd_linear_table<packed_pair_entry<combine_min>>>(n, edges));
+  expect_valid_forest(
+      n, edges,
+      hash_spanning_forest<cuckoo_table<packed_pair_entry<combine_min>>>(n, edges));
+  expect_valid_forest(
+      n, edges,
+      (hash_spanning_forest<chained_table<packed_pair_entry<combine_min>, true>>(n,
+                                                                                 edges)));
+}
+
+TEST(SpanningForest, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(serial_spanning_forest(10, {}).empty());
+  EXPECT_TRUE(array_spanning_forest(10, {}).empty());
+  EXPECT_TRUE(hash_spanning_forest<det_res>(10, {}).empty());
+}
+
+TEST(SpanningForest, SingleEdge) {
+  const std::vector<graph::edge> edges = {{0, 1}};
+  EXPECT_EQ(hash_spanning_forest<det_res>(2, edges), std::vector<std::size_t>{0});
+}
+
+}  // namespace
+}  // namespace phch::apps

@@ -1,0 +1,164 @@
+// speculative_for + reservation cells: protocol correctness, priority
+// semantics (result equals the sequential greedy execution), progress.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "phch/parallel/speculative_for.h"
+#include "phch/parallel/scheduler.h"
+#include "phch/utils/rand.h"
+
+namespace phch {
+namespace {
+
+TEST(Reservation, ReserveKeepsMinimum) {
+  reservation r;
+  EXPECT_FALSE(r.reserved());
+  r.reserve(7);
+  r.reserve(3);
+  r.reserve(9);
+  EXPECT_TRUE(r.check(3));
+  EXPECT_FALSE(r.check(7));
+  EXPECT_TRUE(r.reserved());
+}
+
+TEST(Reservation, CheckResetReleasesOnlyHolder) {
+  reservation r;
+  r.reserve(5);
+  EXPECT_FALSE(r.check_reset(6));
+  EXPECT_TRUE(r.reserved());
+  EXPECT_TRUE(r.check_reset(5));
+  EXPECT_FALSE(r.reserved());
+}
+
+// Greedy sequential "select non-adjacent slots": iterate i claims cells
+// i%K and (i*7)%K if both are free in priority order. speculative_for must
+// produce exactly the sequential result.
+struct claim_step {
+  std::size_t k;
+  std::vector<reservation>& cells;
+  std::vector<std::uint8_t>& taken;
+  std::vector<std::uint8_t>& selected;
+
+  std::size_t a(std::size_t i) const { return i % k; }
+  std::size_t b(std::size_t i) const { return (i * 7 + 3) % k; }
+
+  bool reserve(std::size_t i) {
+    if (a(i) == b(i) || taken[a(i)] || taken[b(i)]) return false;
+    cells[a(i)].reserve(i);
+    cells[b(i)].reserve(i);
+    return true;
+  }
+  bool commit(std::size_t i) {
+    if (cells[b(i)].check(i)) {
+      cells[b(i)].reset();
+      if (cells[a(i)].check_reset(i)) {
+        taken[a(i)] = 1;
+        taken[b(i)] = 1;
+        selected[i] = 1;
+        return true;
+      }
+    } else {
+      cells[a(i)].check_reset(i);
+    }
+    return false;
+  }
+};
+
+std::vector<std::uint8_t> sequential_claims(std::size_t n, std::size_t k) {
+  std::vector<std::uint8_t> taken(k, 0);
+  std::vector<std::uint8_t> selected(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t a = i % k;
+    const std::size_t b = (i * 7 + 3) % k;
+    if (a != b && !taken[a] && !taken[b]) {
+      taken[a] = 1;
+      taken[b] = 1;
+      selected[i] = 1;
+    }
+  }
+  return selected;
+}
+
+TEST(SpeculativeFor, MatchesSequentialGreedyExecution) {
+  const std::size_t n = 5000;
+  const std::size_t k = 400;
+  std::vector<reservation> cells(k);
+  std::vector<std::uint8_t> taken(k, 0);
+  std::vector<std::uint8_t> selected(n, 0);
+  claim_step step{k, cells, taken, selected};
+  speculative_for(step, 0, n);
+  EXPECT_EQ(selected, sequential_claims(n, k));
+  for (const auto& c : cells) EXPECT_FALSE(c.reserved());  // all released
+}
+
+TEST(SpeculativeFor, GranularityLimitsRoundPrefixButNotResult) {
+  const std::size_t n = 5000;
+  const std::size_t k = 400;
+  std::vector<reservation> cells(k);
+  std::vector<std::uint8_t> taken(k, 0);
+  std::vector<std::uint8_t> selected(n, 0);
+  claim_step step{k, cells, taken, selected};
+  speculative_for(step, 0, n, 128);
+  EXPECT_EQ(selected, sequential_claims(n, k));
+}
+
+TEST(SpeculativeFor, DeterministicAcrossThreadCounts) {
+  const std::size_t n = 8000;
+  const std::size_t k = 700;
+  auto run = [&] {
+    std::vector<reservation> cells(k);
+    std::vector<std::uint8_t> taken(k, 0);
+    std::vector<std::uint8_t> selected(n, 0);
+    claim_step step{k, cells, taken, selected};
+    speculative_for(step, 0, n);
+    return selected;
+  };
+  scheduler& sched = scheduler::get();
+  const int original = sched.num_workers();
+  sched.set_num_workers(1);
+  const auto s1 = run();
+  sched.set_num_workers(6);
+  const auto s6 = run();
+  sched.set_num_workers(original);
+  EXPECT_EQ(s1, s6);
+}
+
+TEST(SpeculativeFor, EmptyRangeRunsZeroRounds) {
+  std::vector<reservation> cells(4);
+  std::vector<std::uint8_t> taken(4, 0);
+  std::vector<std::uint8_t> selected;
+  claim_step step{4, cells, taken, selected};
+  EXPECT_EQ(speculative_for(step, 3, 3), 0u);
+}
+
+TEST(SpeculativeFor, ReturnsRoundCount) {
+  // All n iterates contend for one cell pair: exactly one commits per
+  // round until each is either selected or dropped; at least 2 rounds.
+  struct single_cell_step {
+    std::vector<reservation>& cells;
+    std::atomic<int>& committed;
+    bool reserve(std::size_t i) {
+      if (committed.load() >= 3) return false;  // stop after 3 wins
+      cells[0].reserve(i);
+      return true;
+    }
+    bool commit(std::size_t i) {
+      if (cells[0].check_reset(i)) {
+        committed.fetch_add(1);
+        return true;
+      }
+      return false;
+    }
+  };
+  std::vector<reservation> cells(1);
+  std::atomic<int> committed{0};
+  single_cell_step step{cells, committed};
+  const std::size_t rounds = speculative_for(step, 0, 100);
+  EXPECT_GE(rounds, 3u);
+  EXPECT_EQ(committed.load(), 3);
+}
+
+}  // namespace
+}  // namespace phch

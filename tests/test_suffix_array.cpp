@@ -1,0 +1,106 @@
+// DC3 suffix array and Kasai LCP against brute-force references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "phch/strings/suffix_array.h"
+#include "phch/workloads/trigram.h"
+#include "phch/utils/rand.h"
+
+namespace phch::strings {
+namespace {
+
+std::vector<std::uint32_t> naive_sa(const std::string& s) {
+  std::vector<std::uint32_t> sa(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) sa[i] = static_cast<std::uint32_t>(i);
+  std::sort(sa.begin(), sa.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return s.compare(a, std::string::npos, s, b, std::string::npos) < 0;
+  });
+  return sa;
+}
+
+std::vector<std::uint32_t> naive_lcp(const std::string& s,
+                                     const std::vector<std::uint32_t>& sa) {
+  std::vector<std::uint32_t> lcp(s.size(), 0);
+  for (std::size_t i = 1; i < sa.size(); ++i) {
+    std::uint32_t h = 0;
+    while (sa[i - 1] + h < s.size() && sa[i] + h < s.size() &&
+           s[sa[i - 1] + h] == s[sa[i] + h])
+      ++h;
+    lcp[i] = h;
+  }
+  return lcp;
+}
+
+TEST(SuffixArray, ClassicExamples) {
+  EXPECT_EQ(suffix_array("banana"), naive_sa("banana"));
+  EXPECT_EQ(suffix_array("mississippi"), naive_sa("mississippi"));
+  EXPECT_EQ(suffix_array("abracadabra"), naive_sa("abracadabra"));
+}
+
+TEST(SuffixArray, EdgeCases) {
+  EXPECT_TRUE(suffix_array("").empty());
+  EXPECT_EQ(suffix_array("a"), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(suffix_array("aa"), naive_sa("aa"));
+  EXPECT_EQ(suffix_array("ab"), naive_sa("ab"));
+  EXPECT_EQ(suffix_array("ba"), naive_sa("ba"));
+  EXPECT_EQ(suffix_array("aaa"), naive_sa("aaa"));
+}
+
+TEST(SuffixArray, AllEqualCharacters) {
+  const std::string s(500, 'x');
+  EXPECT_EQ(suffix_array(s), naive_sa(s));
+}
+
+TEST(SuffixArray, PeriodicStrings) {
+  std::string s;
+  for (int i = 0; i < 100; ++i) s += "abcab";
+  EXPECT_EQ(suffix_array(s), naive_sa(s));
+}
+
+TEST(SuffixArray, BinaryAlphabetRandom) {
+  std::string s;
+  for (std::size_t i = 0; i < 2000; ++i) s += (hash64(i) & 1) ? 'a' : 'b';
+  EXPECT_EQ(suffix_array(s), naive_sa(s));
+}
+
+TEST(SuffixArray, FullByteAlphabetIncludingNul) {
+  std::string s;
+  for (std::size_t i = 0; i < 1000; ++i)
+    s += static_cast<char>(hash64(i) % 256);
+  EXPECT_EQ(suffix_array(s), naive_sa(s));
+}
+
+TEST(SuffixArray, EnglishLikeText) {
+  const auto s = workloads::trigram_text(5000, 3);
+  const auto sa = suffix_array(s);
+  // Verify the permutation property and sortedness by sampling.
+  std::vector<bool> seen(s.size(), false);
+  for (const auto i : sa) {
+    ASSERT_LT(i, s.size());
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  for (std::size_t i = 1; i < sa.size(); i += 17) {
+    ASSERT_LT(s.compare(sa[i - 1], std::string::npos, s, sa[i], std::string::npos), 0);
+  }
+}
+
+TEST(LcpArray, MatchesNaive) {
+  for (const std::string& s :
+       {std::string("banana"), std::string("mississippi"),
+        workloads::trigram_text(3000, 5), std::string(200, 'z')}) {
+    const auto sa = suffix_array(s);
+    EXPECT_EQ(lcp_array(s, sa), naive_lcp(s, sa)) << s.substr(0, 20);
+  }
+}
+
+TEST(LcpArray, FirstEntryIsZero) {
+  const auto s = workloads::trigram_text(1000, 7);
+  const auto sa = suffix_array(s);
+  EXPECT_EQ(lcp_array(s, sa)[0], 0u);
+}
+
+}  // namespace
+}  // namespace phch::strings

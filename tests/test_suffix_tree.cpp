@@ -1,0 +1,168 @@
+// Suffix tree over hash-table child maps: structure, exact substring
+// search, agreement with std::string::find, all table backends.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/strings/suffix_tree.h"
+#include "phch/utils/rand.h"
+#include "phch/workloads/trigram.h"
+
+namespace phch::strings {
+namespace {
+
+using det_tree = suffix_tree<deterministic_table<pair_entry<combine_min>>>;
+
+TEST(SuffixTreeSkeleton, NodeCountIsLinear) {
+  const auto sk = suffix_tree_skeleton::build("banana");
+  // n+1 leaves (with sentinel) + at most n internal nodes + root.
+  EXPECT_GE(sk.nodes.size(), 8u);
+  EXPECT_LE(sk.nodes.size(), 2 * 7 + 1);
+}
+
+TEST(SuffixTreeSkeleton, ParentsHaveSmallerDepth) {
+  const auto sk = suffix_tree_skeleton::build(workloads::trigram_text(2000, 3));
+  for (std::size_t v = 1; v < sk.nodes.size(); ++v) {
+    ASSERT_LT(sk.nodes[sk.nodes[v].parent].depth, sk.nodes[v].depth);
+  }
+  EXPECT_EQ(sk.nodes[0].depth, 0u);
+}
+
+TEST(SuffixTreeSkeleton, EdgeKeysAreUnique) {
+  const auto sk = suffix_tree_skeleton::build(workloads::trigram_text(3000, 5));
+  std::set<std::uint64_t> keys;
+  for (std::uint32_t v = 1; v < sk.nodes.size(); ++v) {
+    ASSERT_TRUE(keys.insert(sk.edge_key_of(v)).second)
+        << "two children of one node share a first character";
+  }
+}
+
+TEST(SuffixTree, FindsEverySubstring) {
+  const std::string text = "the theta thesis on synthesis and theses";
+  det_tree st(text);
+  for (std::size_t i = 0; i < text.size(); i += 3) {
+    for (std::size_t len = 1; len <= 8 && i + len <= text.size(); ++len) {
+      ASSERT_TRUE(st.search(text.substr(i, len))) << text.substr(i, len);
+    }
+  }
+}
+
+TEST(SuffixTree, RejectsNonSubstrings) {
+  const std::string text = "abcabcabcxyz";
+  det_tree st(text);
+  EXPECT_FALSE(st.search("abd"));
+  EXPECT_FALSE(st.search("xyzz"));
+  EXPECT_FALSE(st.search("q"));
+  EXPECT_FALSE(st.search("cabz"));
+  EXPECT_TRUE(st.search("cabcx"));
+}
+
+TEST(SuffixTree, EmptyPatternAlwaysMatches) {
+  det_tree st(std::string("hello"));
+  EXPECT_TRUE(st.search(""));
+}
+
+TEST(SuffixTree, PatternLongerThanText) {
+  det_tree st(std::string("ab"));
+  EXPECT_FALSE(st.search("abc"));
+}
+
+TEST(SuffixTree, AgreesWithStdFindOnRandomQueries) {
+  const std::string text = workloads::trigram_text(20000, 7);
+  det_tree st(text);
+  const rng r(99);
+  for (std::size_t q = 0; q < 500; ++q) {
+    const std::size_t len = 1 + r.ith_rand(2 * q, 12);
+    std::string pat;
+    if (q % 2 == 0) {
+      const std::size_t pos = r.ith_rand(2 * q + 1, text.size() - len);
+      pat = text.substr(pos, len);
+    } else {
+      for (std::size_t c = 0; c < len; ++c)
+        pat += static_cast<char>('a' + r.ith_rand(1000 * q + c, 26));
+    }
+    const bool expected = text.find(pat) != std::string::npos;
+    ASSERT_EQ(st.search(pat), expected) << pat;
+  }
+}
+
+TEST(SuffixTree, OccurrenceCountsMatchBruteForce) {
+  const std::string text = "abracadabra abracadabra arcade";
+  det_tree st(text);
+  auto brute = [&](const std::string& pat) {
+    std::size_t c = 0;
+    for (std::size_t pos = text.find(pat); pos != std::string::npos;
+         pos = text.find(pat, pos + 1))
+      ++c;
+    return c;
+  };
+  for (const std::string pat : {"abra", "a", "cad", "abracadabra", "arc", "zzz", "ra "}) {
+    EXPECT_EQ(st.occurrences(pat), brute(pat)) << pat;
+  }
+}
+
+TEST(SuffixTree, OccurrenceCountsOnGeneratedText) {
+  const std::string text = workloads::trigram_text(8000, 21);
+  det_tree st(text);
+  auto brute = [&](const std::string& pat) {
+    std::size_t c = 0;
+    for (std::size_t pos = text.find(pat); pos != std::string::npos;
+         pos = text.find(pat, pos + 1))
+      ++c;
+    return c;
+  };
+  const rng r(5);
+  for (std::size_t q = 0; q < 60; ++q) {
+    const std::size_t len = 1 + r.ith_rand(q, 6);
+    const std::size_t pos = r.ith_rand(q + 1000, text.size() - len);
+    const std::string pat = text.substr(pos, len);
+    ASSERT_EQ(st.occurrences(pat), brute(pat)) << pat;
+  }
+}
+
+TEST(SuffixTree, EmptyPatternCountsAllSuffixes) {
+  det_tree st(std::string("abc"));
+  EXPECT_EQ(st.occurrences(""), 4u);  // "abc" + sentinel
+}
+
+TEST(SuffixTree, WorksOnProteinText) {
+  const std::string text = workloads::protein_text(10000, 9);
+  det_tree st(text);
+  EXPECT_TRUE(st.search(text.substr(777, 15)));
+  EXPECT_TRUE(st.search(text.substr(0, 30)));
+}
+
+template <typename Table>
+void backend_check() {
+  const std::string text = workloads::trigram_text(5000, 11);
+  suffix_tree<Table> st(text);
+  EXPECT_TRUE(st.search(text.substr(100, 10)));
+  EXPECT_TRUE(st.search(text.substr(4000, 25)));
+  EXPECT_FALSE(st.search("qqqqqqqq"));
+}
+
+TEST(SuffixTree, NdBackend) { backend_check<nd_linear_table<pair_entry<combine_min>>>(); }
+TEST(SuffixTree, CuckooBackend) { backend_check<cuckoo_table<pair_entry<combine_min>>>(); }
+TEST(SuffixTree, ChainedBackend) {
+  backend_check<chained_table<pair_entry<combine_min>, true>>();
+}
+
+TEST(SuffixTree, DeterministicTableContentsStable) {
+  const std::string text = workloads::trigram_text(3000, 13);
+  det_tree a(text);
+  det_tree b(text);
+  EXPECT_EQ(a.table().elements().size(), b.table().elements().size());
+  const auto ea = a.table().elements();
+  const auto eb = b.table().elements();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea[i].k, eb[i].k);
+    ASSERT_EQ(ea[i].v, eb[i].v);
+  }
+}
+
+}  // namespace
+}  // namespace phch::strings

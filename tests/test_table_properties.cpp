@@ -1,0 +1,197 @@
+// Cross-implementation property tests: every table in the repository obeys
+// the same phase-concurrent set semantics. Typed over all six concurrent
+// variants plus the two serial baselines (exercised through a single-thread
+// shim), and parameterized over loads and duplication rates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/hopscotch_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/core/serial_table.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+// Serial tables run the same suite through a sequential loop.
+template <typename Inner>
+class serial_shim {
+ public:
+  explicit serial_shim(std::size_t cap) : t_(cap) {}
+  void insert(std::uint64_t v) { t_.insert(v); }
+  void erase(std::uint64_t k) { t_.erase(k); }
+  bool contains(std::uint64_t k) const { return t_.contains(k); }
+  std::size_t count() const { return t_.count(); }
+  auto elements() const { return t_.elements(); }
+  static constexpr bool concurrent = false;
+  Inner t_;
+};
+
+template <typename T>
+struct is_serial : std::false_type {};
+template <typename I>
+struct is_serial<serial_shim<I>> : std::true_type {};
+
+template <typename Table, typename Seq>
+void do_inserts(Table& t, const Seq& keys) {
+  if constexpr (is_serial<Table>::value) {
+    for (const auto k : keys) t.insert(k);
+  } else {
+    test::parallel_insert(t, keys);
+  }
+}
+
+template <typename Table, typename Seq>
+void do_erases(Table& t, const Seq& keys) {
+  if constexpr (is_serial<Table>::value) {
+    for (const auto k : keys) t.erase(k);
+  } else {
+    test::parallel_erase(t, keys);
+  }
+}
+
+template <typename T>
+class AllTables : public ::testing::Test {};
+
+using TableTypes = ::testing::Types<
+    deterministic_table<int_entry<>>, nd_linear_table<int_entry<>>,
+    cuckoo_table<int_entry<>>, chained_table<int_entry<>, false>,
+    chained_table<int_entry<>, true>, hopscotch_table<int_entry<>, true>,
+    hopscotch_table<int_entry<>, false>, serial_shim<serial_table_hi<int_entry<>>>,
+    serial_shim<serial_table_hd<int_entry<>>>>;
+TYPED_TEST_SUITE(AllTables, TableTypes);
+
+TYPED_TEST(AllTables, InsertedSetMatchesReference) {
+  TypeParam t(1 << 14);
+  const auto keys = test::dup_keys(9000, 4000, 101);
+  do_inserts(t, keys);
+  const std::set<std::uint64_t> ref(keys.begin(), keys.end());
+  EXPECT_EQ(t.count(), ref.size());
+  for (const auto k : ref) ASSERT_TRUE(t.contains(k)) << k;
+}
+
+TYPED_TEST(AllTables, AbsentKeysAreAbsent) {
+  TypeParam t(1 << 13);
+  const auto keys = test::unique_keys(2000, 103);
+  do_inserts(t, keys);
+  const std::set<std::uint64_t> present(keys.begin(), keys.end());
+  for (std::uint64_t k = 1; k < 4000; ++k) {
+    if (!present.count(k)) {
+      ASSERT_FALSE(t.contains(k)) << k;
+    }
+  }
+}
+
+TYPED_TEST(AllTables, ElementsReturnsExactMultiset) {
+  TypeParam t(1 << 13);
+  const auto keys = test::dup_keys(5000, 2500, 107);
+  do_inserts(t, keys);
+  auto elems = t.elements();
+  std::sort(elems.begin(), elems.end());
+  const std::set<std::uint64_t> ref(keys.begin(), keys.end());
+  ASSERT_EQ(elems.size(), ref.size());
+  EXPECT_TRUE(std::equal(elems.begin(), elems.end(), ref.begin(), ref.end()));
+}
+
+TYPED_TEST(AllTables, InsertEraseRoundTripLeavesEmpty) {
+  TypeParam t(1 << 12);
+  const auto keys = test::unique_keys(1500, 109);
+  do_inserts(t, keys);
+  do_erases(t, keys);
+  EXPECT_EQ(t.count(), 0u);
+  for (const auto k : keys) ASSERT_FALSE(t.contains(k));
+}
+
+TYPED_TEST(AllTables, PartialEraseKeepsComplement) {
+  TypeParam t(1 << 12);
+  const auto keys = test::unique_keys(2000, 113);
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 800);
+  do_inserts(t, keys);
+  do_erases(t, dels);
+  EXPECT_EQ(t.count(), keys.size() - dels.size());
+  for (std::size_t i = 800; i < keys.size(); ++i) ASSERT_TRUE(t.contains(keys[i]));
+}
+
+TYPED_TEST(AllTables, EraseOfAbsentKeysIsNoOp) {
+  TypeParam t(1 << 10);
+  const auto keys = test::unique_keys(300, 127);
+  do_inserts(t, keys);
+  std::vector<std::uint64_t> absent;
+  const std::set<std::uint64_t> present(keys.begin(), keys.end());
+  for (std::uint64_t k = 100000; absent.size() < 300; ++k) {
+    if (!present.count(k)) absent.push_back(k);
+  }
+  do_erases(t, absent);
+  EXPECT_EQ(t.count(), keys.size());
+}
+
+TYPED_TEST(AllTables, RepeatedPhasesStayConsistent) {
+  TypeParam t(1 << 13);
+  std::set<std::uint64_t> ref;
+  for (int round = 0; round < 6; ++round) {
+    const auto ins = test::dup_keys(1200, 900, 1000 + round);
+    do_inserts(t, ins);
+    ref.insert(ins.begin(), ins.end());
+    const auto del = test::dup_keys(900, 900, 2000 + round);
+    do_erases(t, del);
+    for (const auto d : del) ref.erase(d);
+    ASSERT_EQ(t.count(), ref.size()) << "round " << round;
+  }
+}
+
+// ---- load sweep on the deterministic table (property: correctness is
+// preserved as the table approaches full) --------------------------------
+
+class LoadSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweep, ::testing::Values(10, 30, 50, 70, 85, 95));
+
+TEST_P(LoadSweep, DeterministicTableCorrectAtLoad) {
+  const int pct = GetParam();
+  const std::size_t cap = 1 << 12;
+  deterministic_table<int_entry<>> t(cap);
+  const auto keys = test::unique_keys(cap * static_cast<std::size_t>(pct) / 100, 500 + pct);
+  test::parallel_insert(t, keys);
+  EXPECT_EQ(t.count(), keys.size());
+  for (const auto k : keys) ASSERT_TRUE(t.contains(k));
+  EXPECT_TRUE((test::ordering_invariant_holds<int_entry<>>(t.raw_slots(), t.capacity())));
+  test::parallel_erase(t, keys);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TEST_P(LoadSweep, NdTableCorrectAtLoad) {
+  const int pct = GetParam();
+  const std::size_t cap = 1 << 12;
+  nd_linear_table<int_entry<>> t(cap);
+  const auto keys = test::unique_keys(cap * static_cast<std::size_t>(pct) / 100, 600 + pct);
+  test::parallel_insert(t, keys);
+  EXPECT_EQ(t.count(), keys.size());
+  for (const auto k : keys) ASSERT_TRUE(t.contains(k));
+  test::parallel_erase(t, keys);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+// ---- duplication sweep: combining correctness at all duplication rates ----
+
+class DupSweep : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Distinct, DupSweep, ::testing::Values(1, 4, 64, 1024, 16384));
+
+TEST_P(DupSweep, CombineAddExactAcrossDuplicationRates) {
+  const std::size_t distinct = GetParam();
+  deterministic_table<pair_entry<combine_add>> t(1 << 16);
+  constexpr std::size_t n = 30000;
+  parallel_for(0, n, [&](std::size_t i) {
+    t.insert(kv64{1 + hash64(i) % distinct, 1});
+  });
+  std::uint64_t total = 0;
+  for (const auto& e : t.elements()) total += e.v;
+  EXPECT_EQ(total, n);
+  EXPECT_LE(t.count(), distinct);
+}
+
+}  // namespace
+}  // namespace phch

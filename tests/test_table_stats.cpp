@@ -1,0 +1,87 @@
+// Probe/cluster analysis of open-addressing layouts.
+#include <gtest/gtest.h>
+
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/core/table_stats.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+TEST(TableStats, EmptyTable) {
+  deterministic_table<int_entry<>> t(64);
+  const auto st = analyze(t);
+  EXPECT_EQ(st.occupied, 0u);
+  EXPECT_EQ(st.clusters, 0u);
+  EXPECT_EQ(st.mean_probe, 0.0);
+}
+
+TEST(TableStats, SingleElement) {
+  deterministic_table<int_entry<>> t(64);
+  t.insert(42);
+  const auto st = analyze(t);
+  EXPECT_EQ(st.occupied, 1u);
+  EXPECT_EQ(st.clusters, 1u);
+  EXPECT_EQ(st.max_cluster, 1u);
+  EXPECT_EQ(st.mean_probe, 1.0);  // at its home slot
+}
+
+TEST(TableStats, ProbeLengthsAreAtLeastOne) {
+  deterministic_table<int_entry<>> t(1 << 12);
+  test::parallel_insert(t, test::unique_keys(2000, 3));
+  const auto st = analyze(t);
+  EXPECT_EQ(st.occupied, 2000u);
+  EXPECT_GE(st.mean_probe, 1.0);
+  EXPECT_GE(st.max_probe, 1u);
+  EXPECT_GE(st.max_cluster, 1u);
+  EXPECT_GT(st.clusters, 0u);
+  EXPECT_NEAR(st.mean_cluster * static_cast<double>(st.clusters), 2000.0, 0.5);
+}
+
+TEST(TableStats, ProbesGrowWithLoad) {
+  const std::size_t cap = 1 << 12;
+  double last = 0;
+  for (const int pct : {20, 50, 80}) {
+    deterministic_table<int_entry<>> t(cap);
+    test::parallel_insert(t, test::unique_keys(cap * static_cast<std::size_t>(pct) / 100,
+                                               static_cast<std::uint64_t>(pct)));
+    const auto st = analyze(t);
+    EXPECT_GT(st.mean_probe, last);
+    last = st.mean_probe;
+  }
+  EXPECT_GT(last, 2.0);  // 80% load: mean probe well above 2
+}
+
+TEST(TableStats, DeterministicAndNdLayoutsHaveEqualOccupancy) {
+  // Same keys, same capacity: the deterministic table permutes elements
+  // within clusters but cluster structure (which slots are full) matches
+  // standard linear probing exactly.
+  const auto keys = test::unique_keys(1500, 7);
+  deterministic_table<int_entry<>> d(1 << 12);
+  nd_linear_table<int_entry<>> nd(1 << 12);
+  test::parallel_insert(d, keys);
+  test::parallel_insert(nd, keys);
+  const auto sd = analyze(d);
+  const auto snd = analyze(nd);
+  EXPECT_EQ(sd.occupied, snd.occupied);
+  EXPECT_EQ(sd.clusters, snd.clusters);
+  EXPECT_EQ(sd.max_cluster, snd.max_cluster);
+  // The paper: prioritized insertion probes exactly as standard probing.
+  EXPECT_NEAR(sd.mean_probe, snd.mean_probe, 1e-9);
+}
+
+TEST(TableStats, WraparoundClusterCountedOnce) {
+  // Force occupancy around the array boundary by filling nearly full.
+  deterministic_table<int_entry<>> t(64);
+  test::parallel_insert(t, test::unique_keys(60, 9));
+  const auto st = analyze(t);
+  EXPECT_EQ(st.occupied, 60u);
+  std::size_t sum = 0;
+  // Cluster lengths must sum to occupancy.
+  EXPECT_NEAR(st.mean_cluster * static_cast<double>(st.clusters), 60.0, 0.5);
+  (void)sum;
+}
+
+}  // namespace
+}  // namespace phch

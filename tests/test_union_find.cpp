@@ -1,0 +1,59 @@
+// Phase-concurrent union-find: find/compress correctness under concurrent
+// finds, link correctness under reservation-style exclusive links.
+#include <gtest/gtest.h>
+
+#include "phch/graph/union_find.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/utils/rand.h"
+
+namespace phch::graph {
+namespace {
+
+TEST(UnionFind, SingletonsInitially) {
+  union_find uf(100);
+  for (std::uint32_t v = 0; v < 100; ++v) EXPECT_EQ(uf.find(v), v);
+}
+
+TEST(UnionFind, LinkMergesComponents) {
+  union_find uf(10);
+  uf.link(5, 2);
+  uf.link(7, 5);
+  EXPECT_EQ(uf.find(7), 2u);
+  EXPECT_EQ(uf.find(5), 2u);
+  EXPECT_EQ(uf.find(2), 2u);
+  EXPECT_EQ(uf.find(3), 3u);
+}
+
+TEST(UnionFind, ChainCompressionTerminates) {
+  const std::size_t n = 100000;
+  union_find uf(n);
+  // Build one long chain: i -> i-1.
+  for (std::uint32_t i = 1; i < n; ++i) uf.link(i, i - 1);
+  EXPECT_EQ(uf.find(static_cast<std::uint32_t>(n - 1)), 0u);
+  // After compression the second find is direct.
+  EXPECT_EQ(uf.find(static_cast<std::uint32_t>(n - 1)), 0u);
+}
+
+TEST(UnionFind, ConcurrentFindsWithCompressionAgree) {
+  const std::size_t n = 50000;
+  union_find uf(n);
+  for (std::uint32_t i = 1; i < n; ++i) uf.link(i, i / 2);  // tree to root 0
+  std::atomic<std::size_t> wrong{0};
+  parallel_for(0, n, [&](std::size_t v) {
+    if (uf.find(static_cast<std::uint32_t>(v)) != 0) wrong.fetch_add(1);
+  });
+  EXPECT_EQ(wrong.load(), 0u);
+}
+
+TEST(UnionFind, PartitionedComponents) {
+  const std::size_t n = 1000;
+  union_find uf(n);
+  // 10 components by residue mod 10: link each v to v-10.
+  for (std::uint32_t v = 10; v < n; ++v) uf.link(v, v - 10);
+  parallel_for(0, n, [&](std::size_t v) {
+    ASSERT_EQ(uf.find(static_cast<std::uint32_t>(v)), v % 10);
+  });
+}
+
+}  // namespace
+}  // namespace phch::graph

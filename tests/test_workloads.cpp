@@ -1,0 +1,135 @@
+// Workload generators: determinism, ranges, and distribution shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+
+namespace phch::workloads {
+namespace {
+
+TEST(RandomIntSeq, DeterministicAndInRange) {
+  const auto a = random_int_seq(50000, 42);
+  const auto b = random_int_seq(50000, 42);
+  EXPECT_EQ(a, b);
+  for (const auto k : a) {
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 50000u);
+  }
+}
+
+TEST(RandomIntSeq, DifferentSeedsDiffer) {
+  EXPECT_NE(random_int_seq(1000, 1), random_int_seq(1000, 2));
+}
+
+TEST(RandomIntSeq, RoughlyUniform) {
+  const std::size_t n = 200000;
+  const auto a = random_int_seq(n, 7);
+  // Mean of uniform [1, n] is ~n/2.
+  double sum = 0;
+  for (const auto k : a) sum += static_cast<double>(k);
+  EXPECT_NEAR(sum / static_cast<double>(n), static_cast<double>(n) / 2,
+              static_cast<double>(n) * 0.01);
+  // Distinct fraction for n draws from n values is ~1 - 1/e ≈ 0.632.
+  const std::set<std::uint64_t> distinct(a.begin(), a.end());
+  EXPECT_NEAR(static_cast<double>(distinct.size()) / static_cast<double>(n), 0.632, 0.01);
+}
+
+TEST(RandomPairSeq, KeysAndValuesIndependentStreams) {
+  const auto p = random_pair_seq(10000, 3);
+  const auto k = random_int_seq(10000, 3);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    ASSERT_GE(p[i].k, 1u);
+    ASSERT_GE(p[i].v, 1u);
+  }
+  (void)k;
+}
+
+TEST(ExptSeq, HeavyDuplication) {
+  const std::size_t n = 100000;
+  const auto a = expt_int_seq(n, 5);
+  ASSERT_EQ(a.size(), n);
+  const std::set<std::uint64_t> distinct(a.begin(), a.end());
+  // The exponential profile concentrates mass near small keys: far fewer
+  // distinct keys than uniform.
+  EXPECT_LT(distinct.size(), n / 10);
+  for (const auto k : a) {
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, n);
+  }
+}
+
+TEST(ExptSeq, DeterministicPairs) {
+  EXPECT_EQ(expt_pair_seq(5000, 9).size(), 5000u);
+  const auto a = expt_pair_seq(5000, 9);
+  const auto b = expt_pair_seq(5000, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].k, b[i].k);
+    ASSERT_EQ(a[i].v, b[i].v);
+  }
+}
+
+TEST(TrigramSeq, WordsAreLowercaseNonEmpty) {
+  const auto s = trigram_string_seq(20000, 11);
+  ASSERT_EQ(s.keys.size(), 20000u);
+  for (const char* w : s.keys) {
+    ASSERT_GE(std::strlen(w), 1u);
+    ASSERT_LE(std::strlen(w), 24u);
+    for (const char* p = w; *p; ++p) ASSERT_TRUE(*p >= 'a' && *p <= 'z');
+  }
+}
+
+TEST(TrigramSeq, ManyDuplicatesFewDistinct) {
+  const auto s = trigram_string_seq(50000, 13);
+  std::set<std::string> distinct;
+  for (const char* w : s.keys) distinct.insert(w);
+  // English-like trigram text reuses short words constantly.
+  EXPECT_LT(distinct.size(), s.keys.size() / 2);
+  EXPECT_GT(distinct.size(), 100u);
+}
+
+TEST(TrigramSeq, DeterministicContent) {
+  const auto a = trigram_string_seq(5000, 17);
+  const auto b = trigram_string_seq(5000, 17);
+  for (std::size_t i = 0; i < a.keys.size(); ++i) {
+    ASSERT_STREQ(a.keys[i], b.keys[i]);
+  }
+}
+
+TEST(TrigramPairSeq, RecordsPointIntoOwnArena) {
+  const auto s = trigram_pair_seq(3000, 19);
+  ASSERT_EQ(s.entries.size(), 3000u);
+  for (const auto* r : s.entries) {
+    ASSERT_GE(r->value, 1u);
+    ASSERT_GE(r->key, s.arena.data());
+    ASSERT_LT(r->key, s.arena.data() + s.arena.size());
+  }
+}
+
+TEST(TrigramText, ExactLengthAndAlphabet) {
+  const auto t = trigram_text(100000, 21);
+  ASSERT_EQ(t.size(), 100000u);
+  for (const char c : t) ASSERT_TRUE(c == ' ' || (c >= 'a' && c <= 'z'));
+  // Should contain many spaces (word boundaries).
+  EXPECT_GT(std::count(t.begin(), t.end(), ' '), 5000);
+}
+
+TEST(ProteinText, TwentyLetterAlphabetSkewed) {
+  const auto t = protein_text(200000, 23);
+  ASSERT_EQ(t.size(), 200000u);
+  std::array<std::size_t, 256> freq{};
+  for (const char c : t) freq[static_cast<unsigned char>(c)]++;
+  // L is the most common amino acid, W the rarest.
+  EXPECT_GT(freq['L'], freq['W'] * 4);
+  std::size_t letters = 0;
+  for (const char c : "LAGVESIKRDTPNQFYMHCW") {
+    if (c) letters += freq[static_cast<unsigned char>(c)] > 0;
+  }
+  EXPECT_EQ(letters, 20u);
+}
+
+}  // namespace
+}  // namespace phch::workloads
