@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_highload_rate.dir/bench_highload_rate.cpp.o"
+  "CMakeFiles/bench_highload_rate.dir/bench_highload_rate.cpp.o.d"
+  "bench_highload_rate"
+  "bench_highload_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_highload_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

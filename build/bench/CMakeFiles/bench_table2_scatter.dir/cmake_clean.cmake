@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scatter.dir/bench_table2_scatter.cpp.o"
+  "CMakeFiles/bench_table2_scatter.dir/bench_table2_scatter.cpp.o.d"
+  "bench_table2_scatter"
+  "bench_table2_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_delaunay.dir/bench_table4_delaunay.cpp.o"
+  "CMakeFiles/bench_table4_delaunay.dir/bench_table4_delaunay.cpp.o.d"
+  "bench_table4_delaunay"
+  "bench_table4_delaunay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_delaunay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_suffixtree.dir/bench_table5_suffixtree.cpp.o"
+  "CMakeFiles/bench_table5_suffixtree.dir/bench_table5_suffixtree.cpp.o.d"
+  "bench_table5_suffixtree"
+  "bench_table5_suffixtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_suffixtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_contraction.dir/bench_table6_contraction.cpp.o"
+  "CMakeFiles/bench_table6_contraction.dir/bench_table6_contraction.cpp.o.d"
+  "bench_table6_contraction"
+  "bench_table6_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_bfs.dir/bench_table7_bfs.cpp.o"
+  "CMakeFiles/bench_table7_bfs.dir/bench_table7_bfs.cpp.o.d"
+  "bench_table7_bfs"
+  "bench_table7_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

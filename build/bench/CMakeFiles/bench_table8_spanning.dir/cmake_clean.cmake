@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_spanning.dir/bench_table8_spanning.cpp.o"
+  "CMakeFiles/bench_table8_spanning.dir/bench_table8_spanning.cpp.o.d"
+  "bench_table8_spanning"
+  "bench_table8_spanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_spanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

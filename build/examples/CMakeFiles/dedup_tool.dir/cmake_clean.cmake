@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_tool.dir/dedup_tool.cpp.o"
+  "CMakeFiles/dedup_tool.dir/dedup_tool.cpp.o.d"
+  "dedup_tool"
+  "dedup_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_input.dir/make_input.cpp.o"
+  "CMakeFiles/make_input.dir/make_input.cpp.o.d"
+  "make_input"
+  "make_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_refine.dir/mesh_refine.cpp.o"
+  "CMakeFiles/mesh_refine.dir/mesh_refine.cpp.o.d"
+  "mesh_refine"
+  "mesh_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

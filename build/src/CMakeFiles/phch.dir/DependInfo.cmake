@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phch/geometry/predicates.cpp" "src/CMakeFiles/phch.dir/phch/geometry/predicates.cpp.o" "gcc" "src/CMakeFiles/phch.dir/phch/geometry/predicates.cpp.o.d"
+  "/root/repo/src/phch/io/pbbs_io.cpp" "src/CMakeFiles/phch.dir/phch/io/pbbs_io.cpp.o" "gcc" "src/CMakeFiles/phch.dir/phch/io/pbbs_io.cpp.o.d"
+  "/root/repo/src/phch/parallel/scheduler.cpp" "src/CMakeFiles/phch.dir/phch/parallel/scheduler.cpp.o" "gcc" "src/CMakeFiles/phch.dir/phch/parallel/scheduler.cpp.o.d"
+  "/root/repo/src/phch/strings/suffix_array.cpp" "src/CMakeFiles/phch.dir/phch/strings/suffix_array.cpp.o" "gcc" "src/CMakeFiles/phch.dir/phch/strings/suffix_array.cpp.o.d"
+  "/root/repo/src/phch/workloads/trigram.cpp" "src/CMakeFiles/phch.dir/phch/workloads/trigram.cpp.o" "gcc" "src/CMakeFiles/phch.dir/phch/workloads/trigram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

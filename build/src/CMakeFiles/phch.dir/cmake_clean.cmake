@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phch.dir/phch/geometry/predicates.cpp.o"
+  "CMakeFiles/phch.dir/phch/geometry/predicates.cpp.o.d"
+  "CMakeFiles/phch.dir/phch/io/pbbs_io.cpp.o"
+  "CMakeFiles/phch.dir/phch/io/pbbs_io.cpp.o.d"
+  "CMakeFiles/phch.dir/phch/parallel/scheduler.cpp.o"
+  "CMakeFiles/phch.dir/phch/parallel/scheduler.cpp.o.d"
+  "CMakeFiles/phch.dir/phch/strings/suffix_array.cpp.o"
+  "CMakeFiles/phch.dir/phch/strings/suffix_array.cpp.o.d"
+  "CMakeFiles/phch.dir/phch/workloads/trigram.cpp.o"
+  "CMakeFiles/phch.dir/phch/workloads/trigram.cpp.o.d"
+  "libphch.a"
+  "libphch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

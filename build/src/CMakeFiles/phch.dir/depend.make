@@ -1,0 +1,2 @@
+# Empty dependencies file for phch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_phased_table.dir/test_auto_phased_table.cpp.o"
+  "CMakeFiles/test_auto_phased_table.dir/test_auto_phased_table.cpp.o.d"
+  "test_auto_phased_table"
+  "test_auto_phased_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_phased_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

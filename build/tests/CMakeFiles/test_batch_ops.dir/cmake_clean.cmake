@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_ops.dir/test_batch_ops.cpp.o"
+  "CMakeFiles/test_batch_ops.dir/test_batch_ops.cpp.o.d"
+  "test_batch_ops"
+  "test_batch_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

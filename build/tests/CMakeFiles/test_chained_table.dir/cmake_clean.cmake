@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chained_table.dir/test_chained_table.cpp.o"
+  "CMakeFiles/test_chained_table.dir/test_chained_table.cpp.o.d"
+  "test_chained_table"
+  "test_chained_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chained_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

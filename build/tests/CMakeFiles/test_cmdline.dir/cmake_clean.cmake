@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmdline.dir/test_cmdline.cpp.o"
+  "CMakeFiles/test_cmdline.dir/test_cmdline.cpp.o.d"
+  "test_cmdline"
+  "test_cmdline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmdline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuckoo_table.dir/test_cuckoo_table.cpp.o"
+  "CMakeFiles/test_cuckoo_table.dir/test_cuckoo_table.cpp.o.d"
+  "test_cuckoo_table"
+  "test_cuckoo_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuckoo_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

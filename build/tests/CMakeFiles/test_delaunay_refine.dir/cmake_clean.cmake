@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delaunay_refine.dir/test_delaunay_refine.cpp.o"
+  "CMakeFiles/test_delaunay_refine.dir/test_delaunay_refine.cpp.o.d"
+  "test_delaunay_refine"
+  "test_delaunay_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delaunay_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

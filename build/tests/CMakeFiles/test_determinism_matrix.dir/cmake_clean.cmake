@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_determinism_matrix.dir/test_determinism_matrix.cpp.o"
+  "CMakeFiles/test_determinism_matrix.dir/test_determinism_matrix.cpp.o.d"
+  "test_determinism_matrix"
+  "test_determinism_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_determinism_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

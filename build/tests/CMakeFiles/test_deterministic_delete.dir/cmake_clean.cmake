@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deterministic_delete.dir/test_deterministic_delete.cpp.o"
+  "CMakeFiles/test_deterministic_delete.dir/test_deterministic_delete.cpp.o.d"
+  "test_deterministic_delete"
+  "test_deterministic_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deterministic_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deterministic_table.dir/test_deterministic_table.cpp.o"
+  "CMakeFiles/test_deterministic_table.dir/test_deterministic_table.cpp.o.d"
+  "test_deterministic_table"
+  "test_deterministic_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deterministic_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_contraction.dir/test_edge_contraction.cpp.o"
+  "CMakeFiles/test_edge_contraction.dir/test_edge_contraction.cpp.o.d"
+  "test_edge_contraction"
+  "test_edge_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

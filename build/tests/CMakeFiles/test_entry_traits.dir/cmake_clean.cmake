@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entry_traits.dir/test_entry_traits.cpp.o"
+  "CMakeFiles/test_entry_traits.dir/test_entry_traits.cpp.o.d"
+  "test_entry_traits"
+  "test_entry_traits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entry_traits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

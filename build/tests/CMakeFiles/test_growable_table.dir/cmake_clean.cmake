@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_growable_table.dir/test_growable_table.cpp.o"
+  "CMakeFiles/test_growable_table.dir/test_growable_table.cpp.o.d"
+  "test_growable_table"
+  "test_growable_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_growable_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

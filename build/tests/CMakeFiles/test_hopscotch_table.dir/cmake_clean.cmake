@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hopscotch_table.dir/test_hopscotch_table.cpp.o"
+  "CMakeFiles/test_hopscotch_table.dir/test_hopscotch_table.cpp.o.d"
+  "test_hopscotch_table"
+  "test_hopscotch_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hopscotch_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nd_table.dir/test_nd_table.cpp.o"
+  "CMakeFiles/test_nd_table.dir/test_nd_table.cpp.o.d"
+  "test_nd_table"
+  "test_nd_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nd_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicates.dir/test_predicates.cpp.o"
+  "CMakeFiles/test_predicates.dir/test_predicates.cpp.o.d"
+  "test_predicates"
+  "test_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

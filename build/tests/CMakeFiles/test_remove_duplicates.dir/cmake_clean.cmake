@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remove_duplicates.dir/test_remove_duplicates.cpp.o"
+  "CMakeFiles/test_remove_duplicates.dir/test_remove_duplicates.cpp.o.d"
+  "test_remove_duplicates"
+  "test_remove_duplicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remove_duplicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spanning_forest.dir/test_spanning_forest.cpp.o"
+  "CMakeFiles/test_spanning_forest.dir/test_spanning_forest.cpp.o.d"
+  "test_spanning_forest"
+  "test_spanning_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spanning_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

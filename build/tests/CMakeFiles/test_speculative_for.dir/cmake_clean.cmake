@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speculative_for.dir/test_speculative_for.cpp.o"
+  "CMakeFiles/test_speculative_for.dir/test_speculative_for.cpp.o.d"
+  "test_speculative_for"
+  "test_speculative_for.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speculative_for.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

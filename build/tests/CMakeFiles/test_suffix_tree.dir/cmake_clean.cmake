@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suffix_tree.dir/test_suffix_tree.cpp.o"
+  "CMakeFiles/test_suffix_tree.dir/test_suffix_tree.cpp.o.d"
+  "test_suffix_tree"
+  "test_suffix_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suffix_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_properties.dir/test_table_properties.cpp.o"
+  "CMakeFiles/test_table_properties.dir/test_table_properties.cpp.o.d"
+  "test_table_properties"
+  "test_table_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

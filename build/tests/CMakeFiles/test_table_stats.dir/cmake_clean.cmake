@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_stats.dir/test_table_stats.cpp.o"
+  "CMakeFiles/test_table_stats.dir/test_table_stats.cpp.o.d"
+  "test_table_stats"
+  "test_table_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

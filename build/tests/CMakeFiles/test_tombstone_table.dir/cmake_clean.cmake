@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tombstone_table.dir/test_tombstone_table.cpp.o"
+  "CMakeFiles/test_tombstone_table.dir/test_tombstone_table.cpp.o.d"
+  "test_tombstone_table"
+  "test_tombstone_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tombstone_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
