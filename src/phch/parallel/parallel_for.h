@@ -1,26 +1,47 @@
-// Data-parallel loop constructs on top of the scheduler.
+// Data-parallel loop constructs on top of the work-stealing scheduler.
 //
 //   parallel_for(lo, hi, f)            f(i) for each i in [lo, hi)
-//   parallel_for(lo, hi, f, grain)     explicit chunk size
+//   parallel_for(lo, hi, f, grain)     explicit leaf size
 //   blocked_for(lo, hi, bsize, g)      g(block_id, block_lo, block_hi)
 //   par_do(a, b)                       runs a() and b() (possibly) in parallel
 //
-// Iterations are distributed dynamically: participants claim chunks of
-// `grain` iterations from a shared atomic cursor, so irregular per-iteration
-// costs balance automatically. Exceptions thrown by the body are captured
-// and rethrown on the calling thread (first-captured wins).
+// parallel_for splits [lo, hi) by recursive binary halving down to `grain`
+// iterations per leaf, forking the right half at every level. Idle workers
+// steal the oldest (largest) pending halves, so irregular per-iteration
+// costs balance automatically and — unlike the old flat broadcast pool —
+// a parallel_for or par_do issued from *inside* another parallel construct
+// keeps its parallelism. Which indices each leaf covers is a fixed function
+// of (lo, hi, grain), never of thread timing, preserving the deterministic
+// decomposition contract the primitives rely on.
+//
+// Exceptions thrown by the body are captured and rethrown on the calling
+// thread after the whole loop has joined.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <utility>
 
 #include "phch/parallel/scheduler.h"
 
 namespace phch {
 
-inline constexpr std::size_t kDefaultGrainTarget = 8;  // chunks per worker
+inline constexpr std::size_t kDefaultGrainTarget = 8;  // leaves per worker
+
+namespace detail {
+
+template <typename F>
+void parallel_for_rec(scheduler& sched, std::size_t lo, std::size_t hi, F& f,
+                      std::size_t grain) {
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  sched.fork_join([&] { parallel_for_rec(sched, lo, mid, f, grain); },
+                  [&] { parallel_for_rec(sched, mid, hi, f, grain); });
+}
+
+}  // namespace detail
 
 template <typename F>
 void parallel_for(std::size_t lo, std::size_t hi, F&& f, std::size_t grain = 0) {
@@ -30,31 +51,11 @@ void parallel_for(std::size_t lo, std::size_t hi, F&& f, std::size_t grain = 0) 
   const std::size_t p = static_cast<std::size_t>(sched.num_workers());
   if (grain == 0) grain = (n + p * kDefaultGrainTarget - 1) / (p * kDefaultGrainTarget);
   if (grain < 1) grain = 1;
-  if (p == 1 || n <= grain || scheduler::in_parallel()) {
+  if (p == 1 || n <= grain) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
     return;
   }
-
-  std::atomic<std::size_t> cursor{lo};
-  std::atomic<bool> failed{false};
-  std::exception_ptr error;
-  std::atomic_flag error_claimed = ATOMIC_FLAG_INIT;
-
-  sched.execute([&](int) {
-    for (;;) {
-      const std::size_t start = cursor.fetch_add(grain, std::memory_order_relaxed);
-      if (start >= hi || failed.load(std::memory_order_relaxed)) return;
-      const std::size_t end = start + grain < hi ? start + grain : hi;
-      try {
-        for (std::size_t i = start; i < end; ++i) f(i);
-      } catch (...) {
-        if (!error_claimed.test_and_set()) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  });
-  if (error) std::rethrow_exception(error);
+  detail::parallel_for_rec(sched, lo, hi, f, grain);
 }
 
 // Calls g(block_id, block_lo, block_hi) for consecutive blocks of size
@@ -75,33 +76,12 @@ void blocked_for(std::size_t lo, std::size_t hi, std::size_t bsize, G&& g) {
       1);
 }
 
-// Runs two thunks, in parallel when a pool is available.
+// Runs two thunks as a real fork-join pair: b is spawned as a stealable
+// task, a runs on the calling worker, and both are joined before returning.
+// Nests arbitrarily.
 template <typename A, typename B>
 void par_do(A&& a, B&& b) {
-  scheduler& sched = scheduler::get();
-  if (sched.num_workers() == 1 || scheduler::in_parallel()) {
-    a();
-    b();
-    return;
-  }
-  std::exception_ptr error;
-  std::atomic_flag error_claimed = ATOMIC_FLAG_INIT;
-  std::atomic<int> next{0};
-  sched.execute([&](int) {
-    for (;;) {
-      const int task = next.fetch_add(1, std::memory_order_relaxed);
-      if (task > 1) return;
-      try {
-        if (task == 0)
-          a();
-        else
-          b();
-      } catch (...) {
-        if (!error_claimed.test_and_set()) error = std::current_exception();
-      }
-    }
-  });
-  if (error) std::rethrow_exception(error);
+  scheduler::get().fork_join(std::forward<A>(a), std::forward<B>(b));
 }
 
 }  // namespace phch

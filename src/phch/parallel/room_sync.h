@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "phch/parallel/spinlock.h"
@@ -43,13 +44,23 @@ class room_sync {
 
   int num_rooms() const noexcept { return num_rooms_; }
 
-  // Blocks until `room` is open, then occupies it.
+  // Blocks until `room` is open, then occupies it. The wait escalates from
+  // pause to yield: under the work-stealing pool there can be more runnable
+  // threads than cores, and a hard spin would starve the room's occupants
+  // of the timeslices they need to leave.
   void enter(int room) {
     assert(room >= 0 && room < num_rooms_);
     // Fast path: the room is open (or the building is empty).
     if (try_enter(room)) return;
     waiters_[static_cast<std::size_t>(room)].fetch_add(1, std::memory_order_acq_rel);
-    while (!try_enter(room)) cpu_relax();
+    int spins = 0;
+    while (!try_enter(room)) {
+      if (++spins < 64) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
     waiters_[static_cast<std::size_t>(room)].fetch_sub(1, std::memory_order_acq_rel);
   }
 

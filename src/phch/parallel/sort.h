@@ -1,15 +1,21 @@
-// Parallel sorting: comparison sort (blocked merge sort) and a stable
-// LSD radix sort for bounded integer keys. Both are deterministic.
+// Parallel sorting: comparison sort (fork-join merge sort with parallel
+// merges) and a stable LSD radix sort for bounded integer keys. Both are
+// deterministic: every split point is a fixed function of the data, never
+// of thread timing.
 //
-// The comparison sort splits the input into 2^k blocks, sorts each block
-// with std::sort in parallel, then performs log rounds of pairwise merges
-// (each merge itself runs on one worker — adequate parallelism for the
-// block counts we use, and fully deterministic).
+// The comparison sort recursively halves the input (par_do on the two
+// halves, ping-ponging between the input and one scratch buffer), then
+// merges the sorted halves with a divide-and-conquer merge that bisects the
+// larger run and binary-searches the split point in the smaller one. Under
+// the work-stealing scheduler every level of this recursion parallelizes —
+// including when the sort itself is called from inside another parallel
+// construct, which the old flat pool ran fully serially.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "phch/parallel/parallel_for.h"
@@ -17,40 +23,66 @@
 
 namespace phch {
 
+namespace detail {
+
+inline constexpr std::size_t kSortSerialCutoff = 4096;
+inline constexpr std::size_t kMergeSerialCutoff = 8192;
+
+// Merges sorted runs [a0,a1) and [b0,b1) into out. Stable: ties take the
+// a-side first (lower_bound on b for an a-pivot, upper_bound on a for a
+// b-pivot keep equal elements on the correct side of each split).
+template <typename T, typename Comp>
+void parallel_merge(const T* a0, const T* a1, const T* b0, const T* b1, T* out,
+                    Comp& comp) {
+  const std::size_t na = static_cast<std::size_t>(a1 - a0);
+  const std::size_t nb = static_cast<std::size_t>(b1 - b0);
+  if (na + nb <= kMergeSerialCutoff) {
+    std::merge(a0, a1, b0, b1, out, comp);
+    return;
+  }
+  const T* am;
+  const T* bm;
+  if (na >= nb) {
+    am = a0 + na / 2;
+    bm = std::lower_bound(b0, b1, *am, comp);
+  } else {
+    bm = b0 + nb / 2;
+    am = std::upper_bound(a0, a1, *bm, comp);
+  }
+  T* out_mid = out + (am - a0) + (bm - b0);
+  par_do([&] { parallel_merge(a0, am, b0, bm, out, comp); },
+         [&] { parallel_merge(am, a1, bm, b1, out_mid, comp); });
+}
+
+// Sorts in[0..n). The result lands in `in` when !to_tmp, in `tmp` when
+// to_tmp; children produce their halves in the other buffer so the merge
+// always moves data into the requested destination.
+template <typename T, typename Comp>
+void merge_sort_rec(T* in, T* tmp, std::size_t n, Comp& comp, bool to_tmp) {
+  if (n <= kSortSerialCutoff) {
+    std::sort(in, in + n, comp);
+    if (to_tmp) std::copy(in, in + n, tmp);
+    return;
+  }
+  const std::size_t mid = n / 2;
+  par_do([&] { merge_sort_rec(in, tmp, mid, comp, !to_tmp); },
+         [&] { merge_sort_rec(in + mid, tmp + mid, n - mid, comp, !to_tmp); });
+  const T* src = to_tmp ? in : tmp;
+  T* dst = to_tmp ? tmp : in;
+  parallel_merge(src, src + mid, src + mid, src + n, dst, comp);
+}
+
+}  // namespace detail
+
 template <typename T, typename Comp = std::less<T>>
 void parallel_sort(std::vector<T>& a, Comp comp = Comp{}) {
   const std::size_t n = a.size();
-  const std::size_t p = static_cast<std::size_t>(num_workers());
-  if (n < 4096 || p == 1 || scheduler::in_parallel()) {
+  if (n <= detail::kSortSerialCutoff || num_workers() == 1) {
     std::sort(a.begin(), a.end(), comp);
     return;
   }
-  // Round block count up to a power of two so merge rounds pair evenly.
-  std::size_t num_blocks = 1;
-  while (num_blocks < 2 * p) num_blocks <<= 1;
-  const std::size_t bsize = (n + num_blocks - 1) / num_blocks;
-
-  auto block_begin = [&](std::size_t b) { return std::min(b * bsize, n); };
-  parallel_for(
-      0, num_blocks,
-      [&](std::size_t b) {
-        std::sort(a.begin() + static_cast<std::ptrdiff_t>(block_begin(b)),
-                  a.begin() + static_cast<std::ptrdiff_t>(block_begin(b + 1)), comp);
-      },
-      1);
-  for (std::size_t width = 1; width < num_blocks; width <<= 1) {
-    parallel_for(
-        0, num_blocks / (2 * width),
-        [&](std::size_t pair) {
-          const std::size_t lo = block_begin(pair * 2 * width);
-          const std::size_t mid = block_begin(pair * 2 * width + width);
-          const std::size_t hi = block_begin(pair * 2 * width + 2 * width);
-          std::inplace_merge(a.begin() + static_cast<std::ptrdiff_t>(lo),
-                             a.begin() + static_cast<std::ptrdiff_t>(mid),
-                             a.begin() + static_cast<std::ptrdiff_t>(hi), comp);
-        },
-        1);
-  }
+  std::vector<T> tmp(n);
+  detail::merge_sort_rec(a.data(), tmp.data(), n, comp, /*to_tmp=*/false);
 }
 
 template <typename T, typename Comp = std::less<T>>

@@ -14,6 +14,14 @@
 // if iterates executed in priority order whenever the step's semantics are
 // priority-monotone.
 //
+// Nesting: the reserve/commit phases and the pack between rounds are all
+// built on parallel_for, so under the work-stealing scheduler they stay
+// parallel even when speculative_for itself is invoked from inside another
+// parallel construct (e.g. an application running two loops under par_do) —
+// and parallel constructs used *inside* a step's reserve/commit keep their
+// parallelism too. Retry sets determinism is unaffected: which iterates win
+// depends only on WRITEMIN priorities, not on the schedule.
+//
 // Returns the number of rounds executed.
 #pragma once
 

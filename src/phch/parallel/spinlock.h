@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -23,10 +24,19 @@ class spinlock {
   spinlock(const spinlock&) = delete;
   spinlock& operator=(const spinlock&) = delete;
 
+  // Escalates from pause to yield so an oversubscribed work-stealing pool
+  // (more runnable threads than cores) cannot starve the lock holder.
   void lock() noexcept {
+    int spins = 0;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
-      while (locked_.load(std::memory_order_relaxed)) cpu_relax();
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins < 128) {
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
+      }
     }
   }
 

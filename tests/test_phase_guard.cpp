@@ -48,7 +48,7 @@ TEST(PhaseGuard, FindAndElementsShareAPhase) {
 using PhaseGuardDeath = ::testing::Test;
 
 TEST(PhaseGuardDeath, InsertWhileQueryInFlightAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
         checked_phases g;
@@ -59,7 +59,7 @@ TEST(PhaseGuardDeath, InsertWhileQueryInFlightAborts) {
 }
 
 TEST(PhaseGuardDeath, DeleteWhileInsertInFlightAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
         checked_phases g;

@@ -1,0 +1,263 @@
+// Work-stealing runtime regressions: the Chase–Lev deque itself, nested
+// parallelism actually running on multiple workers, set_num_workers around
+// live work, exception propagation through forks, and schedule-independence
+// of results across worker counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "phch/parallel/parallel_for.h"
+#include "phch/parallel/primitives.h"
+#include "phch/parallel/scheduler.h"
+#include "phch/parallel/sort.h"
+#include "phch/parallel/work_stealing_deque.h"
+#include "phch/utils/rand.h"
+
+namespace phch {
+namespace {
+
+TEST(WorkStealingDeque, OwnerPopsLifoThiefStealsFifo) {
+  detail::work_stealing_deque<int> d;
+  int vals[3] = {10, 20, 30};
+  d.push_bottom(&vals[0]);
+  d.push_bottom(&vals[1]);
+  d.push_bottom(&vals[2]);
+  EXPECT_EQ(d.pop_bottom(), &vals[2]);  // owner end is LIFO
+  EXPECT_EQ(d.steal(), &vals[0]);       // thief end is FIFO (oldest)
+  EXPECT_EQ(d.pop_bottom(), &vals[1]);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WorkStealingDeque, GrowsPastInitialCapacity) {
+  detail::work_stealing_deque<int> d(8);
+  std::vector<int> vals(1000);
+  for (int i = 0; i < 1000; ++i) d.push_bottom(&vals[static_cast<std::size_t>(i)]);
+  for (int i = 999; i >= 0; --i) {
+    ASSERT_EQ(d.pop_bottom(), &vals[static_cast<std::size_t>(i)]) << i;
+  }
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(WorkStealingDeque, ConcurrentOwnerAndThievesClaimEachTaskExactlyOnce) {
+  constexpr int kN = 100000;
+  detail::work_stealing_deque<int> d(64);
+  std::vector<int> vals(kN);
+  std::vector<std::atomic<int>> claimed(kN);
+  for (auto& c : claimed) c.store(0, std::memory_order_relaxed);
+  std::atomic<int> total{0};
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  auto claim = [&](int* p) {
+    claimed[static_cast<std::size_t>(p - vals.data())].fetch_add(1);
+    total.fetch_add(1);
+  };
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      while (total.load(std::memory_order_relaxed) < kN &&
+             std::chrono::steady_clock::now() < deadline) {
+        if (int* p = d.steal()) {
+          claim(p);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kN; ++i) {
+    d.push_bottom(&vals[static_cast<std::size_t>(i)]);
+    if ((i & 7) == 0) {
+      if (int* p = d.pop_bottom()) claim(p);
+    }
+  }
+  for (;;) {
+    int* p = d.pop_bottom();
+    if (p == nullptr) break;
+    claim(p);
+  }
+  for (auto& t : thieves) t.join();
+  ASSERT_EQ(total.load(), kN);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(claimed[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+// The load-bearing regression for this refactor: a par_do issued from
+// *inside* a parallel_for must be stealable by another worker. Branch `a`
+// holds the forking thread busy until branch `b` has run, so `b` can only
+// complete promptly if a different worker steals it (the 10 s timeout makes
+// a broken scheduler fail rather than hang).
+TEST(WorkStealing, NestedParDoRunsOnMultipleWorkers) {
+  scheduler& s = scheduler::get();
+  const int original = s.num_workers();
+  s.set_num_workers(8);
+  std::atomic<bool> saw_other_thread{false};
+  parallel_for(
+      0, 2,
+      [&](std::size_t) {
+        const auto forker = std::this_thread::get_id();
+        std::atomic<bool> b_done{false};
+        par_do(
+            [&] {
+              const auto deadline =
+                  std::chrono::steady_clock::now() + std::chrono::seconds(10);
+              while (!b_done.load(std::memory_order_acquire) &&
+                     std::chrono::steady_clock::now() < deadline) {
+                std::this_thread::yield();
+              }
+            },
+            [&] {
+              if (std::this_thread::get_id() != forker) {
+                saw_other_thread.store(true, std::memory_order_relaxed);
+              }
+              b_done.store(true, std::memory_order_release);
+            });
+      },
+      1);
+  s.set_num_workers(original);
+  EXPECT_TRUE(saw_other_thread.load());
+}
+
+TEST(WorkStealing, DeeplyNestedParallelForComputesCorrectSums) {
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> count{0};
+  parallel_for(
+      0, 8,
+      [&](std::size_t i) {
+        parallel_for(
+            0, 8,
+            [&](std::size_t j) {
+              parallel_for(
+                  0, 8,
+                  [&](std::size_t k) {
+                    sum.fetch_add(i + j + k);
+                    count.fetch_add(1);
+                  },
+                  1);
+            },
+            1);
+      },
+      1);
+  EXPECT_EQ(count.load(), 512u);
+  EXPECT_EQ(sum.load(), 5376u);  // 3 * 64 * (0+1+...+7)
+}
+
+TEST(WorkStealing, NestedSortInsideParDoMatchesSerialSort) {
+  auto mk = [](std::uint64_t salt) {
+    return tabulate(100000, [salt](std::size_t i) { return hash64(i + salt); });
+  };
+  auto u = mk(1), v = mk(2);
+  auto eu = u, ev = v;
+  std::sort(eu.begin(), eu.end());
+  std::sort(ev.begin(), ev.end());
+  par_do([&] { parallel_sort(u); }, [&] { parallel_sort(v); });
+  EXPECT_EQ(u, eu);
+  EXPECT_EQ(v, ev);
+}
+
+TEST(WorkStealing, SetNumWorkersIsSafeAroundLiveWork) {
+  scheduler& s = scheduler::get();
+  const int original = s.num_workers();
+  for (int p : {1, 3, 8, 2}) {
+    s.set_num_workers(p);
+    ASSERT_EQ(s.num_workers(), p);
+    // Immediately drive nested work through the fresh pool.
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for(
+        0, 64,
+        [&](std::size_t i) {
+          par_do([&] { sum.fetch_add(i); }, [&] { sum.fetch_add(1000 + i); });
+        },
+        1);
+    EXPECT_EQ(sum.load(), 68032u);  // sum(i) + sum(1000+i) over i < 64
+    const auto ids = pack_index(100001, [](std::size_t i) { return i % 7 == 0; });
+    EXPECT_EQ(ids.size(), 14286u);
+    EXPECT_EQ(ids.back(), 99995u);
+  }
+  s.set_num_workers(original);
+}
+
+TEST(WorkStealing, SetNumWorkersInsideParallelRegionThrows) {
+  scheduler& s = scheduler::get();
+  const int original = s.num_workers();
+  s.set_num_workers(4);
+  parallel_for(
+      0, 4,
+      [&](std::size_t i) {
+        if (i == 0) {
+          EXPECT_THROW(s.set_num_workers(2), std::logic_error);
+        }
+      },
+      1);
+  s.set_num_workers(original);
+}
+
+TEST(WorkStealing, ExceptionFromNestedForkPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          0, 64,
+          [&](std::size_t i) {
+            par_do([&] { if (i == 13) throw std::runtime_error("inner"); }, [] {});
+          },
+          1),
+      std::runtime_error);
+}
+
+TEST(WorkStealing, WorkerIdsAreValidInsidePoolAndAbsentOutside) {
+  scheduler& s = scheduler::get();
+  const int original = s.num_workers();
+  s.set_num_workers(4);
+  EXPECT_EQ(scheduler::worker_id(), 0);  // the registered main thread
+  std::mutex m;
+  std::set<int> ids;
+  parallel_for(
+      0, 1024,
+      [&](std::size_t) {
+        const int id = scheduler::worker_id();
+        ASSERT_GE(id, 0);
+        ASSERT_LT(id, 4);
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(id);
+      },
+      1);
+  EXPECT_GE(ids.size(), 1u);
+  std::thread outsider([] { EXPECT_EQ(scheduler::worker_id(), -1); });
+  outsider.join();
+  s.set_num_workers(original);
+}
+
+// Results must be a function of the input only — never of the schedule or
+// the worker count (the paper's determinism contract for the substrate).
+TEST(WorkStealing, ResultsAreIdenticalAcrossWorkerCounts) {
+  scheduler& s = scheduler::get();
+  const int original = s.num_workers();
+  std::vector<std::vector<std::uint64_t>> sorted_runs;
+  std::vector<std::vector<std::size_t>> packed_runs;
+  std::vector<std::uint64_t> scan_totals;
+  for (int p : {1, 2, 4, 7}) {
+    s.set_num_workers(p);
+    auto v = tabulate(200000, [](std::size_t i) { return hash64(i) % 1000; });
+    parallel_sort(v);
+    sorted_runs.push_back(std::move(v));
+    packed_runs.push_back(pack_index(100001, [](std::size_t i) { return i % 3 == 0; }));
+    auto w = tabulate(50021, [](std::size_t i) { return hash64(i) & 0xff; });
+    scan_totals.push_back(scan_add_inplace(w));
+  }
+  s.set_num_workers(original);
+  for (std::size_t k = 1; k < sorted_runs.size(); ++k) {
+    EXPECT_EQ(sorted_runs[0], sorted_runs[k]);
+    EXPECT_EQ(packed_runs[0], packed_runs[k]);
+    EXPECT_EQ(scan_totals[0], scan_totals[k]);
+  }
+}
+
+}  // namespace
+}  // namespace phch
