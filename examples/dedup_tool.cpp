@@ -4,12 +4,15 @@
 //
 // Runs the remove-duplicates application with the deterministic table and
 // the non-deterministic linear-probing baseline, reporting times and
-// verifying that the deterministic output is reproducible.
+// verifying that the deterministic output is reproducible. Inserts go
+// through the software-pipelined batch engine (core/batch_ops.h); the
+// number of in-flight probes per worker is tunable with PHCH_BATCH_WIDTH.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "phch/apps/remove_duplicates.h"
+#include "phch/core/batch_ops.h"
 #include "phch/core/deterministic_table.h"
 #include "phch/core/nd_linear_table.h"
 #include "phch/core/table_common.h"
@@ -44,8 +47,9 @@ int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000000;
   const char* dist = argc > 2 ? argv[2] : "uniform";
   const std::size_t cap = round_up_pow2(2 * n);
-  std::printf("dedup_tool: n = %zu, distribution = %s, %d threads\n", n, dist,
-              num_workers());
+  std::printf("dedup_tool: n = %zu, distribution = %s, %d threads, "
+              "batch width %zu\n",
+              n, dist, num_workers(), batch_width());
 
   if (std::strcmp(dist, "trigram") == 0) {
     const auto words = workloads::trigram_string_seq(n, 1);

@@ -18,6 +18,7 @@
 #include <queue>
 #include <vector>
 
+#include "phch/core/batch_ops.h"
 #include "phch/core/table_common.h"
 #include "phch/graph/graph.h"
 #include "phch/parallel/atomics.h"
@@ -115,24 +116,35 @@ inline std::vector<std::int64_t> array_bfs(const graph::csr_graph& g,
 // Hash-table BFS (Figure 2). Table must store graph::vertex_id keys
 // (int_entry<std::uint32_t> traits). A fresh table sized to the frontier's
 // total degree (times `space_mult`) is created per level, as in §6.
+//
+// The frontier expansion is batch-shaped: winners are first collected into
+// the pre-sized candidate array (as in array_bfs), then inserted as one
+// batch through the software-pipelined engine, which overlaps the probe
+// cache misses of up to PHCH_BATCH_WIDTH inserts per worker. The inserted
+// key *set* per level is identical to inserting from inside the relax loop,
+// so the frontier (= ELEMENTS()) and the resulting parent array are
+// unchanged — determinism is the table's, not the insertion order's.
 template <typename Table>
 std::vector<std::int64_t> hash_bfs(const graph::csr_graph& g, graph::vertex_id root,
                                    double space_mult = 1.0) {
+  constexpr graph::vertex_id kHole = std::numeric_limits<graph::vertex_id>::max();
   std::vector<std::int64_t> parents(g.num_vertices(), kNotReached);
   parents[root] = encode_visited(root);
   std::vector<graph::vertex_id> frontier{root};
-  const std::vector<std::size_t> no_offsets;  // sink ignores slots
   while (!frontier.empty()) {
-    const std::size_t total_degree =
-        reduce(std::size_t{0}, frontier.size(), std::size_t{0}, std::plus<>{},
-               [&](std::size_t i) { return g.degree(frontier[i]); });
-    Table table(
-        round_up_pow2(static_cast<std::size_t>(space_mult * 2.0 * (total_degree + 2))));
     std::vector<std::size_t> offsets = tabulate(
         frontier.size(), [&](std::size_t i) { return g.degree(frontier[i]); });
-    scan_add_inplace(offsets);
+    const std::size_t total_degree = scan_add_inplace(offsets);
+    Table table(
+        round_up_pow2(static_cast<std::size_t>(space_mult * 2.0 * (total_degree + 2))));
+    std::vector<graph::vertex_id> candidates(total_degree, kHole);
     detail::relax_frontier(g, frontier, parents, offsets,
-                           [&](graph::vertex_id w, std::size_t) { table.insert(w); });
+                           [&](graph::vertex_id w, std::size_t slot) {
+                             candidates[slot] = w;
+                           });
+    const std::vector<graph::vertex_id> winners =
+        filter(candidates, [&](graph::vertex_id w) { return w != kHole; });
+    insert_batch(table, winners);
     frontier = table.elements();
     parallel_for(0, frontier.size(), [&](std::size_t i) {
       const graph::vertex_id w = frontier[i];

@@ -6,16 +6,19 @@
 
 #include <vector>
 
-#include "phch/parallel/parallel_for.h"
+#include "phch/core/batch_ops.h"
 
 namespace phch::apps {
 
 // Table is any of the phch tables; its traits' value_type must match In.
+// The whole input is one insert phase, routed through the batched engine:
+// linear-probing tables get software-pipelined multi-probe inserts
+// (core/batch_ops.h), others a plain parallel insert loop.
 template <typename Table, typename In>
 std::vector<typename Table::value_type> remove_duplicates(const std::vector<In>& input,
                                                           std::size_t table_capacity) {
   Table table(table_capacity);
-  parallel_for(0, input.size(), [&](std::size_t i) { table.insert(input[i]); });
+  insert_batch(table, input);
   return table.elements();
 }
 

@@ -1,35 +1,363 @@
-// Batched table operations with software prefetching.
+// Batched table operations with software-pipelined (AMAC-style) probing.
 //
 // Phase-concurrent workloads naturally arrive as batches (insert this whole
-// sequence, look up all of these keys), which admits a classic memory-level
-// parallelism trick single operations cannot use: hash the key `kAhead`
-// positions down the batch and prefetch its home cache line while probing
-// the current key, hiding most of the per-operation cache miss the paper
-// identifies as the dominant cost. Works with any linear-probing table
-// exposing `home_address(key)` (deterministic_table, nd_linear_table).
+// sequence, look up all of these keys), which admits a memory-level
+// parallelism trick single operations cannot use. The previous generation of
+// this file prefetched only the *home* cache line a fixed stride down the
+// batch; probe chains past the first line still stalled serially. This
+// version keeps K in-flight probes per worker in a ring (K from
+// PHCH_BATCH_WIDTH, default 12) and advances them round-robin: each step
+// inspects the slot whose prefetch was issued one rotation ago, either
+// completes the operation or computes its next slot and prefetches *that*,
+// then rotates to the next in-flight probe. Every cache miss along the whole
+// probe chain — not just the home line — overlaps with up to K-1 others, the
+// asynchronous-memory-access-chaining (AMAC) structure of Kocberber et al.
 //
-// All three batch helpers preserve the phase contract of the underlying
-// operations: a batch is one phase.
+// Per-operation semantics are untouched:
+//  * find_batch and erase_batch pipeline their read-only probe scans fully;
+//    an erase hands off to the table's scalar downward scan once its forward
+//    scan stops (those slots were just loaded, so the handoff runs on warm
+//    lines).
+//  * insert_batch pipelines the probe *prefix* — the advance-past-
+//    higher-priority-slots walk — and falls back to the table's scalar
+//    insert path at the first slot where a CAS could commit. Displacement
+//    chains therefore execute exactly the Figure-1 loop, preserving the
+//    ordering invariant byte-for-byte: the pipelined prefix performs the
+//    same one-load-per-advance reads as the scalar loop, so every pipelined
+//    execution is indistinguishable from some legal scalar interleaving, and
+//    Theorem 1 makes the final layout independent of which one.
+//
+// Each operation hashes its key exactly once (the scalar continuations
+// resume from the prefix position instead of restarting from home).
+//
+// Tables opt in by exposing the probe hooks checked by
+// `pipelined_probe_table` below (deterministic_table, nd_linear_table).
+// Other tables (cuckoo, chained, hopscotch, growable, serial) get a scalar
+// fallback loop with identical semantics, so the batch API is usable
+// generically. All batch helpers preserve the phase contract: a batch is
+// one phase, and the engine opens the table's phase scope per block so
+// checked_phases still observes pipelined traffic.
 #pragma once
 
+#include <array>
+#include <concepts>
 #include <cstddef>
 #include <vector>
 
+#include "phch/core/table_common.h"
+#include "phch/parallel/atomics.h"
 #include "phch/parallel/parallel_for.h"
+#include "phch/utils/env.h"
 
 namespace phch {
 
+// Retained for the prefetch-ahead reference paths (bench baselines).
 inline constexpr std::size_t kPrefetchAhead = 8;
 
+// Hard cap on in-flight probes per worker; beyond the hardware's miss
+// handling capacity (~10-20 line fill buffers) extra streams only thrash.
+inline constexpr std::size_t kMaxBatchWidth = 64;
+
+// In-flight probes per worker: PHCH_BATCH_WIDTH, clamped to [1, 64].
+inline std::size_t batch_width() {
+  static const std::size_t w = [] {
+    const long v = env_long("PHCH_BATCH_WIDTH", 12);
+    if (v < 1) return std::size_t{1};
+    if (v > static_cast<long>(kMaxBatchWidth)) return kMaxBatchWidth;
+    return static_cast<std::size_t>(v);
+  }();
+  return w;
+}
+
 namespace detail {
-inline void prefetch_ro(const void* p) noexcept { __builtin_prefetch(p, 0, 1); }
-inline void prefetch_rw(const void* p) noexcept { __builtin_prefetch(p, 1, 1); }
+// Locality 3 (prefetcht0): the line is consumed within ~one ring rotation,
+// so it must land in L1, not just an outer level.
+inline void prefetch_ro(const void* p) noexcept { __builtin_prefetch(p, 0, 3); }
+inline void prefetch_rw(const void* p) noexcept { __builtin_prefetch(p, 1, 3); }
 }  // namespace detail
 
-// Inserts values[lo..hi) with in-block prefetch pipelining; whole-batch
-// parallel. One insert phase.
+// A table the pipelined engine can drive: raw slot access for probing,
+// scalar continuations that resume mid-probe, phase-scope hooks, and a tag
+// telling the engine whether probes may stop early on priority order
+// (deterministic_table) or only on empty/equal (nd_linear_table).
+template <typename Table>
+concept pipelined_probe_table = requires(Table& t, const Table& ct,
+                                         typename Table::value_type v,
+                                         typename Table::key_type k,
+                                         std::size_t i) {
+  { Table::ordered_probes } -> std::convertible_to<bool>;
+  { ct.raw_slots() } -> std::convertible_to<const typename Table::value_type*>;
+  { ct.capacity() } -> std::convertible_to<std::size_t>;
+  t.insert_from(v, i, i);
+  t.erase_from(k, i);
+  ct.batch_query_scope();
+  t.batch_insert_scope();
+  t.batch_erase_scope();
+};
+
+namespace batch_detail {
+
+// ---------------------------------------------------------------------------
+// Per-block pipelined engines. Serial within a block (blocked_for supplies
+// the cross-block parallelism); exposed here so tests and benchmarks can
+// drive them directly with explicit widths on a single thread.
+//
+// Linear probing makes chains *sequential*, so a probe only risks a cache
+// miss when it crosses into the next 64-byte line. Each engine therefore
+// scans to the end of the current line before yielding its lane: rotation
+// (and a prefetch) happens per line crossed, not per slot inspected, which
+// keeps the ring bookkeeping off the critical path at high load factors.
+// ---------------------------------------------------------------------------
+
+// Slots per cache line; slot_array is 64-byte aligned, so slot i starts a
+// fresh line exactly when i % slots_per_line == 0 (the wrap to slot 0 too).
+template <typename V>
+inline constexpr std::size_t slots_per_line =
+    sizeof(V) < 64 ? 64 / sizeof(V) : 1;
+
+template <typename Table, typename K>
+void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
+                          typename Table::value_type* out, std::size_t width) {
+  using Traits = typename Table::traits;
+  using value_type = typename Table::value_type;
+  const value_type* slots = t.raw_slots();
+  const std::size_t cap = t.capacity();
+  const std::size_t mask = cap - 1;
+  if (width > kMaxBatchWidth) width = kMaxBatchWidth;
+  if (width < 1) width = 1;
+
+  struct op {
+    std::size_t idx;       // position in the batch (where the result goes)
+    std::size_t slot;      // current probe position
+    std::size_t advances;  // probe length so far (table-full detection)
+    typename Table::key_type kq;
+  };
+  std::array<op, kMaxBatchWidth> ring;
+  std::size_t issued = 0;
+  std::size_t live = 0;
+
+  auto start = [&](op& o) {
+    const std::size_t idx = issued++;
+    const typename Table::key_type kq = keys[idx];
+    o = op{idx, static_cast<std::size_t>(Traits::hash(kq)) & mask, 0, kq};
+    detail::prefetch_ro(&slots[o.slot]);
+  };
+  while (live < width && issued < n) start(ring[live++]);
+
+  constexpr std::size_t line = slots_per_line<value_type>;
+  std::size_t r = 0;
+  while (live > 0) {
+    op& o = ring[r];
+    bool done = false;
+    value_type result{};
+    // Scan to the end of the current cache line; those slots are resident.
+    do {
+      const value_type c = atomic_load(&slots[o.slot]);
+      if (Traits::is_empty(c)) {
+        done = true;
+        result = Traits::empty();
+        break;
+      } else if constexpr (Table::ordered_probes) {
+        // Ordering invariant: stop at the first slot whose priority is not
+        // higher than the query key (same early exit as the scalar find).
+        if (!Traits::priority_less(o.kq, Traits::key(c))) {
+          done = true;
+          result = Traits::key_equal(Traits::key(c), o.kq) ? c : Traits::empty();
+          break;
+        }
+      } else {
+        if (Traits::key_equal(Traits::key(c), o.kq)) {
+          done = true;
+          result = c;
+          break;
+        }
+      }
+      o.slot = (o.slot + 1) & mask;
+      if (++o.advances > cap) throw table_full_error();
+    } while (o.slot & (line - 1));
+    if (done) {
+      out[o.idx] = result;
+      if (issued < n) {
+        start(o);  // refill the lane, keep rotating
+      } else {
+        ring[r] = ring[--live];
+        if (r == live) r = 0;
+        continue;  // the moved-in op already has a prefetch in flight
+      }
+    } else {
+      detail::prefetch_ro(&slots[o.slot]);  // crossed into the next line
+    }
+    if (++r >= live) r = 0;
+  }
+}
+
 template <typename Table, typename V>
-void insert_batch(Table& t, const std::vector<V>& values) {
+void insert_block_pipelined(Table& t, const V* values, std::size_t n,
+                            std::size_t width) {
+  using Traits = typename Table::traits;
+  using value_type = typename Table::value_type;
+  const value_type* slots = t.raw_slots();
+  const std::size_t cap = t.capacity();
+  const std::size_t mask = cap - 1;
+  if (width > kMaxBatchWidth) width = kMaxBatchWidth;
+  if (width < 1) width = 1;
+
+  struct op {
+    std::size_t slot;
+    std::size_t advances;
+    value_type v;
+  };
+  std::array<op, kMaxBatchWidth> ring;
+  std::size_t issued = 0;
+  std::size_t live = 0;
+
+  auto start = [&](op& o) {
+    const value_type v = values[issued++];
+    const std::size_t home =
+        static_cast<std::size_t>(Traits::hash(Traits::key(v))) & mask;
+    o = op{home, 0, v};
+    detail::prefetch_rw(&slots[o.slot]);
+  };
+  while (live < width && issued < n) start(ring[live++]);
+
+  constexpr std::size_t line = slots_per_line<value_type>;
+  std::size_t r = 0;
+  while (live > 0) {
+    op& o = ring[r];
+    // The prefix advances exactly while the scalar loop would advance
+    // without CASing: the occupant has strictly higher priority than v (for
+    // the nd table: is any other key). Anything else — empty slot, equal
+    // key, or lower priority — is a potential commit point, so hand off to
+    // the scalar Figure-1 path resuming at this position. Slots up to the
+    // next line boundary are resident, so scan them without yielding.
+    bool commit = false;
+    do {
+      const value_type c = atomic_load(&slots[o.slot]);
+      if (Traits::is_empty(c) ||
+          Traits::key_equal(Traits::key(c), Traits::key(o.v))) {
+        commit = true;
+      } else if constexpr (Table::ordered_probes) {
+        commit = !Traits::priority_less(Traits::key(o.v), Traits::key(c));
+      }
+      if (commit) break;
+      o.slot = (o.slot + 1) & mask;
+      if (++o.advances > cap) throw table_full_error();
+    } while (o.slot & (line - 1));
+    if (commit) {
+      t.insert_from(o.v, o.slot, o.advances);
+      if (issued < n) {
+        start(o);
+      } else {
+        ring[r] = ring[--live];
+        if (r == live) r = 0;
+        continue;
+      }
+    } else {
+      detail::prefetch_rw(&slots[o.slot]);
+    }
+    if (++r >= live) r = 0;
+  }
+}
+
+template <typename Table, typename K>
+void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
+                           std::size_t width) {
+  using Traits = typename Table::traits;
+  using value_type = typename Table::value_type;
+  const value_type* slots = t.raw_slots();
+  const std::size_t cap = t.capacity();
+  const std::size_t mask = cap - 1;
+  if (width > kMaxBatchWidth) width = kMaxBatchWidth;
+  if (width < 1) width = 1;
+
+  struct op {
+    std::size_t slot;
+    std::size_t advances;
+    typename Table::key_type kq;
+  };
+  std::array<op, kMaxBatchWidth> ring;
+  std::size_t issued = 0;
+  std::size_t live = 0;
+
+  auto start = [&](op& o) {
+    const typename Table::key_type kq = keys[issued++];
+    o = op{static_cast<std::size_t>(Traits::hash(kq)) & mask, 0, kq};
+    detail::prefetch_rw(&slots[o.slot]);
+  };
+  while (live < width && issued < n) start(ring[live++]);
+
+  constexpr std::size_t line = slots_per_line<value_type>;
+  std::size_t r = 0;
+  while (live > 0) {
+    op& o = ring[r];
+    // Pipelined initial forward scan (Figure 1, lines 27-29): past every
+    // slot that could still precede the key. Where the scalar scan would
+    // stop, hand the downward CAS scan to the table; it re-walks slots this
+    // scan just loaded, so it runs on warm lines. Within the current cache
+    // line the scan continues without yielding the lane.
+    bool stop = false;
+    do {
+      const value_type c = atomic_load(&slots[o.slot]);
+      if (Traits::is_empty(c)) {
+        stop = true;
+      } else if constexpr (Table::ordered_probes) {
+        stop = !Traits::priority_less(o.kq, Traits::key(c));
+      }
+      // Without the ordering invariant only ⊥ stops the scan.
+      if (stop) break;
+      o.slot = (o.slot + 1) & mask;
+      if (++o.advances > cap) throw table_full_error();
+    } while (o.slot & (line - 1));
+    if (stop) {
+      t.erase_from(o.kq, o.advances);
+      if (issued < n) {
+        start(o);
+      } else {
+        ring[r] = ring[--live];
+        if (r == live) r = 0;
+        continue;
+      }
+    } else {
+      detail::prefetch_rw(&slots[o.slot]);
+    }
+    if (++r >= live) r = 0;
+  }
+}
+
+}  // namespace batch_detail
+
+// ---------------------------------------------------------------------------
+// Scalar reference batches: plain per-op loops, no prefetching. The
+// semantic baseline the pipelined engine must match bit-for-bit; also the
+// generic path for tables without probe hooks.
+// ---------------------------------------------------------------------------
+
+template <typename Table, typename V>
+void insert_batch_scalar(Table& t, const std::vector<V>& values) {
+  parallel_for(0, values.size(), [&](std::size_t i) { t.insert(values[i]); });
+}
+
+template <typename Table, typename K>
+std::vector<typename Table::value_type> find_batch_scalar(
+    const Table& t, const std::vector<K>& keys) {
+  std::vector<typename Table::value_type> out(keys.size());
+  parallel_for(0, keys.size(), [&](std::size_t i) { out[i] = t.find(keys[i]); });
+  return out;
+}
+
+template <typename Table, typename K>
+void erase_batch_scalar(Table& t, const std::vector<K>& keys) {
+  parallel_for(0, keys.size(), [&](std::size_t i) { t.erase(keys[i]); });
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch-ahead reference batches: the previous engine (home line hashed
+// kPrefetchAhead positions down the batch), kept as the bench baseline the
+// pipelined engine is measured against.
+// ---------------------------------------------------------------------------
+
+template <typename Table, typename V>
+void insert_batch_prefetch(Table& t, const std::vector<V>& values) {
   blocked_for(0, values.size(), 2048, [&](std::size_t, std::size_t s, std::size_t e) {
     for (std::size_t i = s; i < e; ++i) {
       if (i + kPrefetchAhead < e) {
@@ -41,10 +369,9 @@ void insert_batch(Table& t, const std::vector<V>& values) {
   });
 }
 
-// Looks up keys[0..n); out[i] = stored value or empty. One query phase.
 template <typename Table, typename K>
-std::vector<typename Table::value_type> find_batch(const Table& t,
-                                                   const std::vector<K>& keys) {
+std::vector<typename Table::value_type> find_batch_prefetch(
+    const Table& t, const std::vector<K>& keys) {
   std::vector<typename Table::value_type> out(keys.size());
   blocked_for(0, keys.size(), 2048, [&](std::size_t, std::size_t s, std::size_t e) {
     for (std::size_t i = s; i < e; ++i) {
@@ -57,9 +384,8 @@ std::vector<typename Table::value_type> find_batch(const Table& t,
   return out;
 }
 
-// Erases keys[0..n). One delete phase.
 template <typename Table, typename K>
-void erase_batch(Table& t, const std::vector<K>& keys) {
+void erase_batch_prefetch(Table& t, const std::vector<K>& keys) {
   blocked_for(0, keys.size(), 2048, [&](std::size_t, std::size_t s, std::size_t e) {
     for (std::size_t i = s; i < e; ++i) {
       if (i + kPrefetchAhead < e) {
@@ -68,6 +394,61 @@ void erase_batch(Table& t, const std::vector<K>& keys) {
       t.erase(keys[i]);
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Public batch API: pipelined where the table supports it, scalar otherwise.
+// ---------------------------------------------------------------------------
+
+// Inserts values[0..n); whole-batch parallel. One insert phase.
+template <typename Table, typename V>
+void insert_batch(Table& t, const std::vector<V>& values) {
+  if constexpr (pipelined_probe_table<Table>) {
+    auto scope = t.batch_insert_scope();
+    const std::size_t width = batch_width();
+    blocked_for(0, values.size(), 2048,
+                [&](std::size_t, std::size_t s, std::size_t e) {
+                  batch_detail::insert_block_pipelined(t, values.data() + s,
+                                                       e - s, width);
+                });
+  } else {
+    insert_batch_scalar(t, values);
+  }
+}
+
+// Looks up keys[0..n); out[i] = stored value or empty. One query phase.
+template <typename Table, typename K>
+std::vector<typename Table::value_type> find_batch(const Table& t,
+                                                   const std::vector<K>& keys) {
+  if constexpr (pipelined_probe_table<Table>) {
+    std::vector<typename Table::value_type> out(keys.size());
+    auto scope = t.batch_query_scope();
+    const std::size_t width = batch_width();
+    blocked_for(0, keys.size(), 2048,
+                [&](std::size_t, std::size_t s, std::size_t e) {
+                  batch_detail::find_block_pipelined(t, keys.data() + s, e - s,
+                                                     out.data() + s, width);
+                });
+    return out;
+  } else {
+    return find_batch_scalar(t, keys);
+  }
+}
+
+// Erases keys[0..n). One delete phase.
+template <typename Table, typename K>
+void erase_batch(Table& t, const std::vector<K>& keys) {
+  if constexpr (pipelined_probe_table<Table>) {
+    auto scope = t.batch_erase_scope();
+    const std::size_t width = batch_width();
+    blocked_for(0, keys.size(), 2048,
+                [&](std::size_t, std::size_t s, std::size_t e) {
+                  batch_detail::erase_block_pipelined(t, keys.data() + s, e - s,
+                                                      width);
+                });
+  } else {
+    erase_batch_scalar(t, keys);
+  }
 }
 
 }  // namespace phch

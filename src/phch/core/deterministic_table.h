@@ -29,7 +29,6 @@
 //    paper's "Combining" paragraph; double-word CAS for 16-byte slots).
 #pragma once
 
-#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <utility>
@@ -39,6 +38,7 @@
 #include "phch/core/phase_guard.h"
 #include "phch/core/table_common.h"
 #include "phch/parallel/atomics.h"
+#include "phch/parallel/striped_counter.h"
 
 namespace phch {
 
@@ -49,6 +49,9 @@ class deterministic_table {
   using value_type = typename Traits::value_type;
   using key_type = typename Traits::key_type;
 
+  // Probes may stop early on the ordering invariant (batch engine tag).
+  static constexpr bool ordered_probes = true;
+
   // Capacity is rounded up to a power of two. The caller must keep the
   // table from filling (paper precondition); `load_factor()` reports usage.
   explicit deterministic_table(std::size_t min_capacity) : slots_(min_capacity) {}
@@ -56,16 +59,17 @@ class deterministic_table {
   std::size_t capacity() const noexcept { return slots_.capacity(); }
   std::size_t count() const { return slots_.count(); }
 
-  // Occupied-slot count maintained by a relaxed counter (exact at phase
-  // boundaries; used by the growable wrapper's load trigger without an
-  // O(capacity) scan).
+  // Occupied-slot count maintained by a cache-line-striped counter so the
+  // insert/erase hot paths never fetch_add a shared line (exact at phase
+  // boundaries, summed lazily; used by the growable wrapper's load trigger
+  // without an O(capacity) scan).
   std::size_t approx_size() const noexcept {
-    return occupied_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(occupied_.sum());
   }
   double load_factor() const { return static_cast<double>(count()) / capacity(); }
   void clear() {
     slots_.clear();
-    occupied_.store(0, std::memory_order_relaxed);
+    occupied_.reset();
   }
 
   // Outcome of insert_bounded, for the growable wrapper's resize trigger.
@@ -80,7 +84,17 @@ class deterministic_table {
   // INSERT (Figure 1, lines 1-10). Safe to call concurrently with other
   // inserts only. No return value: commutativity is with respect to table
   // state, and "was it new?" is not well defined under concurrent merging.
-  void insert(value_type v) { insert_impl(v, capacity() + 1); }
+  void insert(value_type v) {
+    insert_impl(v, capacity() + 1, home(Traits::key(v)), 0);
+  }
+
+  // Batch-engine continuation (core/batch_ops.h): resume the Figure-1 loop
+  // at slot i after the pipelined prefix has advanced past `advances` slots
+  // of strictly higher priority. The slot at i is re-loaded here, so a stale
+  // prefix read only costs a retry, never correctness.
+  void insert_from(value_type v, std::size_t i, std::size_t advances) {
+    insert_impl(v, capacity() + 1, i, advances);
+  }
 
   // Insert that detects an overfull table for the growable wrapper via the
   // probe-length trigger. An over-limit probe aborts cleanly if the
@@ -88,15 +102,15 @@ class deterministic_table {
   // successful CAS), the displacement chain cannot be abandoned, so the
   // insert completes and merely reports `lengthy`.
   insert_result insert_bounded(value_type v, std::size_t probe_limit) {
-    return insert_impl(v, probe_limit);
+    return insert_impl(v, probe_limit, home(Traits::key(v)), 0);
   }
 
  private:
-  insert_result insert_impl(value_type v, std::size_t probe_limit) {
+  insert_result insert_impl(value_type v, std::size_t probe_limit, std::size_t i,
+                            std::size_t advances) {
     typename Phase::scope guard(phase_, op_kind::insert);
     assert(!Traits::is_empty(v));
-    std::size_t i = home(Traits::key(v));
-    std::size_t advances = 0;
+    const std::size_t cap = capacity();
     bool committed = false;
     while (!Traits::is_empty(v)) {
       const value_type c = atomic_load(&slots_[i]);
@@ -112,16 +126,16 @@ class deterministic_table {
       }
       if (higher_priority(c, v)) {
         i = next(i);
-        if (++advances > capacity()) throw table_full_error();
+        if (++advances > cap) throw table_full_error();
         if (!committed && advances > probe_limit) return insert_result::aborted;
       } else if (cas(&slots_[i], c, v)) {
         // The displaced (strictly lower priority) element, possibly ⊥, is
         // now this operation's responsibility.
         committed = true;
-        if (Traits::is_empty(c)) occupied_.fetch_add(1, std::memory_order_relaxed);
+        if (Traits::is_empty(c)) occupied_.increment();
         v = c;
         i = next(i);
-        if (++advances > capacity()) throw table_full_error();
+        if (++advances > cap) throw table_full_error();
       }
       // CAS failure: re-read the same slot and try again.
     }
@@ -141,7 +155,7 @@ class deterministic_table {
     typename Phase::scope guard(phase_, op_kind::erase);
     const std::size_t cap = capacity();
     // Unwrapped coordinates, offset by one capacity so they never underflow.
-    std::uint64_t i = cap + home(kq);
+    const std::uint64_t i = cap + home(kq);
     std::uint64_t k = i;
     // Initial forward scan (lines 27-29): past every slot whose key has
     // strictly higher priority than kq.
@@ -151,7 +165,22 @@ class deterministic_table {
       ++k;
       if (k - i > cap) throw table_full_error();
     }
-    // Downward scan (lines 30-41).
+    erase_downward(kq, i, k);
+  }
+
+  // Batch-engine continuation (core/batch_ops.h): the pipelined engine has
+  // already run the initial forward scan, stopping `fwd_advances` slots past
+  // the key's home; run the downward scan from there.
+  void erase_from(key_type kq, std::size_t fwd_advances) {
+    typename Phase::scope guard(phase_, op_kind::erase);
+    const std::uint64_t i = capacity() + home(kq);
+    erase_downward(kq, i, i + fwd_advances);
+  }
+
+ private:
+  // Downward scan (lines 30-41), from unwrapped position k down to the
+  // query key's unwrapped home i.
+  void erase_downward(key_type kq, std::uint64_t i, std::uint64_t k) {
     while (k >= i) {
       const value_type c = atomic_load(slot(k));
       if (Traits::is_empty(c) || !Traits::key_equal(Traits::key(c), kq)) {
@@ -160,7 +189,6 @@ class deterministic_table {
       }
       const auto [j, w] = find_replacement(k);
       if (cas(slot(k), c, w)) {
-        if (Traits::is_empty(w)) occupied_.fetch_sub(1, std::memory_order_relaxed);
         if (!Traits::is_empty(w)) {
           // A second copy of w now exists; this operation becomes an
           // outstanding delete for w (lines 36-39).
@@ -168,6 +196,7 @@ class deterministic_table {
           k = j;
           i = unwrapped_home(w, j);
         } else {
+          occupied_.decrement();
           return;
         }
       } else {
@@ -176,6 +205,8 @@ class deterministic_table {
     }
   }
 
+ public:
+
   // FIND (Figure 1, lines 42-46). Safe concurrently with finds/elements.
   // Returns the stored value for key kq, or Traits::empty() if absent. The
   // ordering invariant lets the probe stop at the first slot whose priority
@@ -183,6 +214,7 @@ class deterministic_table {
   // linear probing.
   value_type find(key_type kq) const {
     typename Phase::scope guard(phase_, op_kind::query);
+    const std::size_t cap = capacity();
     std::size_t i = home(kq);
     std::size_t advances = 0;
     for (;;) {
@@ -192,7 +224,7 @@ class deterministic_table {
         return Traits::key_equal(Traits::key(c), kq) ? c : Traits::empty();
       }
       i = next(i);
-      bump(advances);
+      if (++advances > cap) throw table_full_error();
     }
   }
 
@@ -223,6 +255,18 @@ class deterministic_table {
   // operations (see core/batch_ops.h).
   const void* home_address(key_type k) const noexcept { return &slots_[home(k)]; }
 
+  // Batch-engine phase hooks: one scope spanning a whole pipelined block,
+  // so checked_phases observes batched traffic it would otherwise miss.
+  typename Phase::scope batch_query_scope() const {
+    return typename Phase::scope(phase_, op_kind::query);
+  }
+  typename Phase::scope batch_insert_scope() {
+    return typename Phase::scope(phase_, op_kind::insert);
+  }
+  typename Phase::scope batch_erase_scope() {
+    return typename Phase::scope(phase_, op_kind::erase);
+  }
+
  private:
   std::size_t home(key_type k) const noexcept { return Traits::hash(k) & slots_.mask(); }
   std::size_t next(std::size_t i) const noexcept { return (i + 1) & slots_.mask(); }
@@ -239,10 +283,6 @@ class deterministic_table {
     if (Traits::is_empty(c)) return false;
     if (Traits::is_empty(v)) return true;
     return Traits::priority_less(Traits::key(v), Traits::key(c));
-  }
-
-  void bump(std::size_t& advances) const {
-    if (++advances > capacity()) throw table_full_error();
   }
 
   // Unwrapped home position of element v observed at unwrapped position j:
@@ -276,7 +316,7 @@ class deterministic_table {
   }
 
   slot_array<Traits> slots_;
-  std::atomic<std::size_t> occupied_{0};
+  striped_counter occupied_;
   mutable Phase phase_;
 };
 

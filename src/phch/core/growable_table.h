@@ -63,6 +63,9 @@ class growable_table {
         // Secondary trigger: grow once occupancy passes 3/4 of capacity
         // (the probe-length trigger alone cannot protect very small tables,
         // where individual probes can stay short right up to full).
+        // approx_size() is the inner table's striped occupancy counter —
+        // a lazy per-stripe sum, so this check adds read traffic only, never
+        // a contended read-modify-write on the insert hot path.
         const std::size_t cap = table_->capacity();
         if (table_->approx_size() >= cap - cap / 4) grow(cap * 2);
         return;

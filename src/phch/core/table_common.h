@@ -3,7 +3,11 @@
 
 #include <cstddef>
 #include <cstring>
+#include <limits>
+#include <memory>
+#include <new>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "phch/parallel/parallel_for.h"
@@ -17,7 +21,16 @@ struct table_full_error : std::runtime_error {
   table_full_error() : std::runtime_error("phch: hash table is full") {}
 };
 
+// Smallest power of two >= n. Requests above the largest representable
+// power of two are rejected (the old loop spun forever once `c <<= 1`
+// overflowed to zero).
 inline std::size_t round_up_pow2(std::size_t n) {
+  constexpr std::size_t k_max_pow2 =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  if (n > k_max_pow2) {
+    throw std::length_error("phch: requested capacity exceeds the largest "
+                            "representable power of two");
+  }
   std::size_t c = 1;
   while (c < n) c <<= 1;
   return c;
@@ -30,30 +43,43 @@ inline bool bits_equal(const T& a, const T& b) noexcept {
   return std::memcmp(&a, &b, sizeof(T)) == 0;
 }
 
-// A power-of-two-sized slot array initialized to the traits' empty value in
-// parallel. All tables build on this.
+// Below this many slots a parallel clear costs more in fork-join overhead
+// than the fill itself; run it serially.
+inline constexpr std::size_t kSerialClearThreshold = 4096;
+
+// A power-of-two-sized slot array initialized to the traits' empty value.
+// All tables build on this. Storage is 64-byte aligned so a slot never
+// straddles a cache line and the batch engine's per-slot prefetches map
+// one-to-one onto lines.
 template <typename Traits>
 class slot_array {
  public:
   using value_type = typename Traits::value_type;
+  static_assert(std::is_trivially_copyable_v<value_type> &&
+                    std::is_trivially_destructible_v<value_type>,
+                "slot values must be CAS-able raw words");
 
   explicit slot_array(std::size_t min_capacity)
       : capacity_(round_up_pow2(min_capacity < 2 ? 2 : min_capacity)),
         mask_(capacity_ - 1),
-        slots_(capacity_) {
+        slots_(allocate(capacity_)) {
     clear();
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t mask() const noexcept { return mask_; }
 
-  value_type* data() noexcept { return slots_.data(); }
-  const value_type* data() const noexcept { return slots_.data(); }
+  value_type* data() noexcept { return slots_.get(); }
+  const value_type* data() const noexcept { return slots_.get(); }
 
   value_type& operator[](std::size_t i) noexcept { return slots_[i]; }
   const value_type& operator[](std::size_t i) const noexcept { return slots_[i]; }
 
   void clear() {
+    if (capacity_ <= kSerialClearThreshold) {
+      for (std::size_t i = 0; i < capacity_; ++i) slots_[i] = Traits::empty();
+      return;
+    }
     parallel_for(0, capacity_, [&](std::size_t i) { slots_[i] = Traits::empty(); });
   }
 
@@ -75,9 +101,22 @@ class slot_array {
   }
 
  private:
+  static constexpr std::align_val_t kSlotAlign{64};
+
+  struct aligned_delete {
+    void operator()(value_type* p) const noexcept {
+      ::operator delete(static_cast<void*>(p), kSlotAlign);
+    }
+  };
+
+  static value_type* allocate(std::size_t n) {
+    return static_cast<value_type*>(
+        ::operator new(n * sizeof(value_type), kSlotAlign));
+  }
+
   std::size_t capacity_;
   std::size_t mask_;
-  std::vector<value_type> slots_;
+  std::unique_ptr<value_type[], aligned_delete> slots_;
 };
 
 }  // namespace phch
