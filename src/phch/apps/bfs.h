@@ -20,6 +20,7 @@
 
 #include "phch/core/batch_ops.h"
 #include "phch/core/table_common.h"
+#include "phch/core/table_concepts.h"
 #include "phch/graph/graph.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/primitives.h"
@@ -124,7 +125,7 @@ inline std::vector<std::int64_t> array_bfs(const graph::csr_graph& g,
 // key *set* per level is identical to inserting from inside the relax loop,
 // so the frontier (= ELEMENTS()) and the resulting parent array are
 // unchanged — determinism is the table's, not the insertion order's.
-template <typename Table>
+template <phase_table Table>
 std::vector<std::int64_t> hash_bfs(const graph::csr_graph& g, graph::vertex_id root,
                                    double space_mult = 1.0) {
   constexpr graph::vertex_id kHole = std::numeric_limits<graph::vertex_id>::max();

@@ -7,14 +7,15 @@
 #include <vector>
 
 #include "phch/core/batch_ops.h"
+#include "phch/core/table_concepts.h"
 
 namespace phch::apps {
 
-// Table is any of the phch tables; its traits' value_type must match In.
-// The whole input is one insert phase, routed through the batched engine:
-// linear-probing tables get software-pipelined multi-probe inserts
-// (core/batch_ops.h), others a plain parallel insert loop.
-template <typename Table, typename In>
+// Table is any phase_table whose value_type matches In. The whole input is
+// one insert phase, routed through the batched engine: linear-probing
+// tables get software-pipelined multi-probe inserts (core/batch_ops.h),
+// others a plain parallel insert loop.
+template <phase_table Table, typename In>
 std::vector<typename Table::value_type> remove_duplicates(const std::vector<In>& input,
                                                           std::size_t table_capacity) {
   Table table(table_capacity);

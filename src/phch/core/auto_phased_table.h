@@ -16,13 +16,23 @@
 #include <vector>
 
 #include "phch/core/deterministic_table.h"
+#include "phch/core/table_concepts.h"
 #include "phch/parallel/room_sync.h"
 
 namespace phch {
 
+// The wrapped table must be a phase-concurrent table over one flat slot
+// array: phase_table is what the room discipline protects (rooms map 1:1
+// onto the operation classes of Definition 1), deletable_table supplies the
+// erase room, and open_addressing_table provides the raw_slots() view the
+// serial elements()/count() scans use. A table that is not phase-concurrent
+// (or hides its storage) is rejected at compile time rather than silently
+// wrapped with the wrong synchronization.
 template <typename Table>
+  requires deletable_table<Table> && open_addressing_table<Table>
 class auto_phased_table {
  public:
+  using traits = typename Table::traits;
   using value_type = typename Table::value_type;
   using key_type = typename Table::key_type;
 

@@ -2,41 +2,44 @@
 //
 // Phase-concurrent workloads naturally arrive as batches (insert this whole
 // sequence, look up all of these keys), which admits a memory-level
-// parallelism trick single operations cannot use. The previous generation of
-// this file prefetched only the *home* cache line a fixed stride down the
-// batch; probe chains past the first line still stalled serially. This
-// version keeps K in-flight probes per worker in a ring (K from
-// PHCH_BATCH_WIDTH, default 12) and advances them round-robin: each step
-// inspects the slot whose prefetch was issued one rotation ago, either
-// completes the operation or computes its next slot and prefetches *that*,
-// then rotates to the next in-flight probe. Every cache miss along the whole
-// probe chain — not just the home line — overlaps with up to K-1 others, the
-// asynchronous-memory-access-chaining (AMAC) structure of Kocberber et al.
+// parallelism trick single operations cannot use. The engine keeps K
+// in-flight probes per worker in a ring (K from PHCH_BATCH_WIDTH, default
+// 12) and advances them round-robin: each step inspects the slot whose
+// prefetch was issued one rotation ago, either completes the operation or
+// computes its next slot and prefetches *that*, then rotates to the next
+// in-flight probe. Every cache miss along the whole probe chain — not just
+// the home line — overlaps with up to K-1 others, the asynchronous-memory-
+// access-chaining (AMAC) structure of Kocberber et al.
 //
 // Per-operation semantics are untouched:
 //  * find_batch and erase_batch pipeline their read-only probe scans fully;
-//    an erase hands off to the table's scalar downward scan once its forward
-//    scan stops (those slots were just loaded, so the handoff runs on warm
-//    lines).
-//  * insert_batch pipelines the probe *prefix* — the advance-past-
-//    higher-priority-slots walk — and falls back to the table's scalar
-//    insert path at the first slot where a CAS could commit. Displacement
-//    chains therefore execute exactly the Figure-1 loop, preserving the
-//    ordering invariant byte-for-byte: the pipelined prefix performs the
-//    same one-load-per-advance reads as the scalar loop, so every pipelined
-//    execution is indistinguishable from some legal scalar interleaving, and
-//    Theorem 1 makes the final layout independent of which one.
+//    an erase hands off to the table's scalar erase_from continuation once
+//    its forward scan stops (those slots were just loaded, so the handoff
+//    runs on warm lines).
+//  * insert_batch pipelines the probe *prefix* — the advance-past-occupants
+//    walk — and falls back to the table's scalar insert path at the first
+//    slot where a CAS could commit. Displacement chains therefore execute
+//    exactly the Figure-1 loop, preserving the ordering invariant
+//    byte-for-byte: the pipelined prefix performs the same
+//    one-load-per-advance reads as the scalar loop, so every pipelined
+//    execution is indistinguishable from some legal scalar interleaving,
+//    and Theorem 1 makes the final layout independent of which one.
 //
 // Each operation hashes its key exactly once (the scalar continuations
 // resume from the prefix position instead of restarting from home).
 //
-// Tables opt in by exposing the probe hooks checked by
-// `pipelined_probe_table` below (deterministic_table, nd_linear_table).
-// Other tables (cuckoo, chained, hopscotch, growable, serial) get a scalar
-// fallback loop with identical semantics, so the batch API is usable
+// The engine knows no policy logic of its own: probe decisions go through
+// the table's static classifiers (classify_find / insert_scan_stop /
+// erase_scan_stop), which core/probe_engine.h distills from its ordering
+// and delete policies. Any table modeling `batchable_table`
+// (core/table_concepts.h) — deterministic, nd-linear, and tombstone alike —
+// is driven by the same pipelined loops. Tables with their own whole-batch
+// members (`batch_forwarding_table`, e.g. growable_table) are forwarded to;
+// everything else (cuckoo, chained, hopscotch, serial) gets a scalar
+// fallback with identical semantics, so the batch API is usable
 // generically. All batch helpers preserve the phase contract: a batch is
 // one phase, and the engine opens the table's phase scope per block so
-// checked_phases still observes pipelined traffic.
+// checked_phases still observes batch traffic.
 #pragma once
 
 #include <array>
@@ -45,6 +48,7 @@
 #include <vector>
 
 #include "phch/core/table_common.h"
+#include "phch/core/table_concepts.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/parallel_for.h"
 #include "phch/utils/env.h"
@@ -76,24 +80,10 @@ inline void prefetch_ro(const void* p) noexcept { __builtin_prefetch(p, 0, 3); }
 inline void prefetch_rw(const void* p) noexcept { __builtin_prefetch(p, 1, 3); }
 }  // namespace detail
 
-// A table the pipelined engine can drive: raw slot access for probing,
-// scalar continuations that resume mid-probe, phase-scope hooks, and a tag
-// telling the engine whether probes may stop early on priority order
-// (deterministic_table) or only on empty/equal (nd_linear_table).
+// Backwards-compatible name for the concept the engine dispatches on (the
+// definition moved to core/table_concepts.h as `batchable_table`).
 template <typename Table>
-concept pipelined_probe_table = requires(Table& t, const Table& ct,
-                                         typename Table::value_type v,
-                                         typename Table::key_type k,
-                                         std::size_t i) {
-  { Table::ordered_probes } -> std::convertible_to<bool>;
-  { ct.raw_slots() } -> std::convertible_to<const typename Table::value_type*>;
-  { ct.capacity() } -> std::convertible_to<std::size_t>;
-  t.insert_from(v, i, i);
-  t.erase_from(k, i);
-  ct.batch_query_scope();
-  t.batch_insert_scope();
-  t.batch_erase_scope();
-};
+concept pipelined_probe_table = batchable_table<Table>;
 
 namespace batch_detail {
 
@@ -107,6 +97,12 @@ namespace batch_detail {
 // scans to the end of the current line before yielding its lane: rotation
 // (and a prefetch) happens per line crossed, not per slot inspected, which
 // keeps the ring bookkeeping off the critical path at high load factors.
+//
+// A probe that sweeps more than `capacity` slots has wrapped the table:
+// with `Table::bounded_probes` (tombstone deletion — the table can be full
+// of garbage) the operation resolves as a miss / no-op, exactly like the
+// scalar loop; otherwise the table broke the never-full precondition and
+// the engine throws, again matching scalar behavior.
 // ---------------------------------------------------------------------------
 
 // Slots per cache line; slot_array is 64-byte aligned, so slot i starts a
@@ -153,27 +149,22 @@ void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
     // Scan to the end of the current cache line; those slots are resident.
     do {
       const value_type c = atomic_load(&slots[o.slot]);
-      if (Traits::is_empty(c)) {
+      const probe_verdict verdict = Table::classify_find(c, o.kq);
+      if (verdict != probe_verdict::advance) {
         done = true;
-        result = Traits::empty();
+        result = verdict == probe_verdict::hit ? c : Traits::empty();
         break;
-      } else if constexpr (Table::ordered_probes) {
-        // Ordering invariant: stop at the first slot whose priority is not
-        // higher than the query key (same early exit as the scalar find).
-        if (!Traits::priority_less(o.kq, Traits::key(c))) {
-          done = true;
-          result = Traits::key_equal(Traits::key(c), o.kq) ? c : Traits::empty();
-          break;
-        }
-      } else {
-        if (Traits::key_equal(Traits::key(c), o.kq)) {
-          done = true;
-          result = c;
-          break;
-        }
       }
       o.slot = (o.slot + 1) & mask;
-      if (++o.advances > cap) throw table_full_error();
+      if (++o.advances > cap) {
+        if constexpr (Table::bounded_probes) {
+          done = true;
+          result = Traits::empty();
+          break;
+        } else {
+          throw table_full_error();
+        }
+      }
     } while (o.slot & (line - 1));
     if (done) {
       out[o.idx] = result;
@@ -225,21 +216,18 @@ void insert_block_pipelined(Table& t, const V* values, std::size_t n,
   while (live > 0) {
     op& o = ring[r];
     // The prefix advances exactly while the scalar loop would advance
-    // without CASing: the occupant has strictly higher priority than v (for
-    // the nd table: is any other key). Anything else — empty slot, equal
-    // key, or lower priority — is a potential commit point, so hand off to
-    // the scalar Figure-1 path resuming at this position. Slots up to the
-    // next line boundary are resident, so scan them without yielding.
+    // without CASing; the table's insert_scan_stop classifier marks the
+    // first potential commit point (empty slot, duplicate key, or a
+    // displaceable occupant), where the operation hands off to the scalar
+    // continuation resuming at this position. Slots up to the next line
+    // boundary are resident, so scan them without yielding.
     bool commit = false;
     do {
       const value_type c = atomic_load(&slots[o.slot]);
-      if (Traits::is_empty(c) ||
-          Traits::key_equal(Traits::key(c), Traits::key(o.v))) {
+      if (Table::insert_scan_stop(c, o.v)) {
         commit = true;
-      } else if constexpr (Table::ordered_probes) {
-        commit = !Traits::priority_less(Traits::key(o.v), Traits::key(c));
+        break;
       }
-      if (commit) break;
       o.slot = (o.slot + 1) & mask;
       if (++o.advances > cap) throw table_full_error();
     } while (o.slot & (line - 1));
@@ -290,26 +278,32 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
   std::size_t r = 0;
   while (live > 0) {
     op& o = ring[r];
-    // Pipelined initial forward scan (Figure 1, lines 27-29): past every
-    // slot that could still precede the key. Where the scalar scan would
-    // stop, hand the downward CAS scan to the table; it re-walks slots this
-    // scan just loaded, so it runs on warm lines. Within the current cache
-    // line the scan continues without yielding the lane.
+    // Pipelined initial forward scan: past every slot the table's
+    // erase_scan_stop classifier says could still precede the key. Where
+    // the scalar scan would stop, hand the CAS work to the table's
+    // erase_from continuation; it re-walks slots this scan just loaded, so
+    // it runs on warm lines. Within the current cache line the scan
+    // continues without yielding the lane.
     bool stop = false;
+    bool drop = false;  // bounded probe wrapped the table: key is absent
     do {
       const value_type c = atomic_load(&slots[o.slot]);
-      if (Traits::is_empty(c)) {
+      if (Table::erase_scan_stop(c, o.kq)) {
         stop = true;
-      } else if constexpr (Table::ordered_probes) {
-        stop = !Traits::priority_less(o.kq, Traits::key(c));
+        break;
       }
-      // Without the ordering invariant only ⊥ stops the scan.
-      if (stop) break;
       o.slot = (o.slot + 1) & mask;
-      if (++o.advances > cap) throw table_full_error();
+      if (++o.advances > cap) {
+        if constexpr (Table::bounded_probes) {
+          drop = true;
+          break;
+        } else {
+          throw table_full_error();
+        }
+      }
     } while (o.slot & (line - 1));
-    if (stop) {
-      t.erase_from(o.kq, o.advances);
+    if (stop || drop) {
+      if (stop) t.erase_from(o.kq, o.advances);
       if (issued < n) {
         start(o);
       } else {
@@ -333,8 +327,13 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
 // ---------------------------------------------------------------------------
 
 template <typename Table, typename V>
+void insert_batch_scalar(Table& t, const V* values, std::size_t n) {
+  parallel_for(0, n, [&](std::size_t i) { t.insert(values[i]); });
+}
+
+template <typename Table, typename V>
 void insert_batch_scalar(Table& t, const std::vector<V>& values) {
-  parallel_for(0, values.size(), [&](std::size_t i) { t.insert(values[i]); });
+  insert_batch_scalar(t, values.data(), values.size());
 }
 
 template <typename Table, typename K>
@@ -397,22 +396,32 @@ void erase_batch_prefetch(Table& t, const std::vector<K>& keys) {
 }
 
 // ---------------------------------------------------------------------------
-// Public batch API: pipelined where the table supports it, scalar otherwise.
+// Public batch API. Dispatch order: a table with its own batch members is
+// forwarded to (growable_table interleaves growth checks); a batchable
+// table runs the pipelined engine; everything else gets the scalar loop.
 // ---------------------------------------------------------------------------
+
+// Pointer-range inserts: the building block the wrappers chunk over.
+template <typename Table, typename V>
+void insert_batch_range(Table& t, const V* values, std::size_t n) {
+  if constexpr (batchable_table<Table>) {
+    auto scope = t.batch_insert_scope();
+    const std::size_t width = batch_width();
+    blocked_for(0, n, 2048, [&](std::size_t, std::size_t s, std::size_t e) {
+      batch_detail::insert_block_pipelined(t, values + s, e - s, width);
+    });
+  } else {
+    insert_batch_scalar(t, values, n);
+  }
+}
 
 // Inserts values[0..n); whole-batch parallel. One insert phase.
 template <typename Table, typename V>
 void insert_batch(Table& t, const std::vector<V>& values) {
-  if constexpr (pipelined_probe_table<Table>) {
-    auto scope = t.batch_insert_scope();
-    const std::size_t width = batch_width();
-    blocked_for(0, values.size(), 2048,
-                [&](std::size_t, std::size_t s, std::size_t e) {
-                  batch_detail::insert_block_pipelined(t, values.data() + s,
-                                                       e - s, width);
-                });
+  if constexpr (batch_forwarding_table<Table>) {
+    t.insert_batch(values);
   } else {
-    insert_batch_scalar(t, values);
+    insert_batch_range(t, values.data(), values.size());
   }
 }
 
@@ -420,7 +429,9 @@ void insert_batch(Table& t, const std::vector<V>& values) {
 template <typename Table, typename K>
 std::vector<typename Table::value_type> find_batch(const Table& t,
                                                    const std::vector<K>& keys) {
-  if constexpr (pipelined_probe_table<Table>) {
+  if constexpr (batch_forwarding_table<Table>) {
+    return t.find_batch(keys);
+  } else if constexpr (batchable_table<Table>) {
     std::vector<typename Table::value_type> out(keys.size());
     auto scope = t.batch_query_scope();
     const std::size_t width = batch_width();
@@ -438,7 +449,9 @@ std::vector<typename Table::value_type> find_batch(const Table& t,
 // Erases keys[0..n). One delete phase.
 template <typename Table, typename K>
 void erase_batch(Table& t, const std::vector<K>& keys) {
-  if constexpr (pipelined_probe_table<Table>) {
+  if constexpr (requires { t.erase_batch(keys); }) {
+    t.erase_batch(keys);
+  } else if constexpr (batchable_table<Table>) {
     auto scope = t.batch_erase_scope();
     const std::size_t width = batch_width();
     blocked_for(0, keys.size(), 2048,

@@ -14,310 +14,21 @@
 // Phase discipline (caller's contract, checkable via the Phase parameter):
 //    S = { {insert}, {erase}, {find, contains, elements, for_each} }.
 //
-// Implementation notes.
-//  * Slot positions during a delete are tracked as *unwrapped* indices: a
-//    position is a non-decreasing integer whose low log2(capacity) bits
-//    address the array. This realizes the paper's "higher position within a
-//    cluster" comparisons (which must respect wraparound) without case
-//    analysis: a probe path never exceeds capacity slots when the table is
-//    non-full, so positions within one operation are comparable directly.
-//  * `unwrapped_home(v, j)`: an element read at unwrapped position j must
-//    have hashed within (j - capacity, j]; the congruent representative in
-//    that window is j - ((j - h(v)) & mask).
-//  * Duplicate keys: with Traits::has_combine, an insert meeting an equal
-//    key merges values with the commutative combine function via CAS (the
-//    paper's "Combining" paragraph; double-word CAS for 16-byte slots).
+// The implementation is one policy choice over the shared open-addressing
+// core (core/probe_engine.h): prioritized ordering — inserts displace
+// lower-priority occupants and probes stop early on the ordering
+// invariant — with back-shift (FindReplacement) deletion. History
+// independence is a property of exactly this ordering policy; see the
+// engine header for the probe/CAS machinery, which is common to all the
+// linear tables.
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <utility>
-#include <vector>
-
-#include "phch/core/entry_traits.h"
-#include "phch/core/phase_guard.h"
-#include "phch/core/table_common.h"
-#include "phch/parallel/atomics.h"
-#include "phch/parallel/striped_counter.h"
+#include "phch/core/probe_engine.h"
 
 namespace phch {
 
 template <typename Traits = int_entry<>, typename Phase = unchecked_phases>
-class deterministic_table {
- public:
-  using traits = Traits;
-  using value_type = typename Traits::value_type;
-  using key_type = typename Traits::key_type;
-
-  // Probes may stop early on the ordering invariant (batch engine tag).
-  static constexpr bool ordered_probes = true;
-
-  // Capacity is rounded up to a power of two. The caller must keep the
-  // table from filling (paper precondition); `load_factor()` reports usage.
-  explicit deterministic_table(std::size_t min_capacity) : slots_(min_capacity) {}
-
-  std::size_t capacity() const noexcept { return slots_.capacity(); }
-  std::size_t count() const { return slots_.count(); }
-
-  // Occupied-slot count maintained by a cache-line-striped counter so the
-  // insert/erase hot paths never fetch_add a shared line (exact at phase
-  // boundaries, summed lazily; used by the growable wrapper's load trigger
-  // without an O(capacity) scan).
-  std::size_t approx_size() const noexcept {
-    return static_cast<std::size_t>(occupied_.sum());
-  }
-  double load_factor() const { return static_cast<double>(count()) / capacity(); }
-  void clear() {
-    slots_.clear();
-    occupied_.reset();
-  }
-
-  // Outcome of insert_bounded, for the growable wrapper's resize trigger.
-  enum class insert_result {
-    ok,        // inserted within the probe limit
-    lengthy,   // inserted, but the probe sequence exceeded the limit: the
-               // table is overfull and should be grown (paper §4 Resizing)
-    aborted,   // probe limit hit before the first CAS: nothing was modified;
-               // grow and retry
-  };
-
-  // INSERT (Figure 1, lines 1-10). Safe to call concurrently with other
-  // inserts only. No return value: commutativity is with respect to table
-  // state, and "was it new?" is not well defined under concurrent merging.
-  void insert(value_type v) {
-    insert_impl(v, capacity() + 1, home(Traits::key(v)), 0);
-  }
-
-  // Batch-engine continuation (core/batch_ops.h): resume the Figure-1 loop
-  // at slot i after the pipelined prefix has advanced past `advances` slots
-  // of strictly higher priority. The slot at i is re-loaded here, so a stale
-  // prefix read only costs a retry, never correctness.
-  void insert_from(value_type v, std::size_t i, std::size_t advances) {
-    insert_impl(v, capacity() + 1, i, advances);
-  }
-
-  // Insert that detects an overfull table for the growable wrapper via the
-  // probe-length trigger. An over-limit probe aborts cleanly if the
-  // operation has not yet modified the table; once committed (first
-  // successful CAS), the displacement chain cannot be abandoned, so the
-  // insert completes and merely reports `lengthy`.
-  insert_result insert_bounded(value_type v, std::size_t probe_limit) {
-    return insert_impl(v, probe_limit, home(Traits::key(v)), 0);
-  }
-
- private:
-  insert_result insert_impl(value_type v, std::size_t probe_limit, std::size_t i,
-                            std::size_t advances) {
-    typename Phase::scope guard(phase_, op_kind::insert);
-    assert(!Traits::is_empty(v));
-    const std::size_t cap = capacity();
-    bool committed = false;
-    while (!Traits::is_empty(v)) {
-      const value_type c = atomic_load(&slots_[i]);
-      if (!Traits::is_empty(c) && Traits::key_equal(Traits::key(c), Traits::key(v))) {
-        if constexpr (Traits::has_combine) {
-          const value_type merged = Traits::combine(c, v);
-          if (bits_equal(merged, c)) return finish(advances, probe_limit);
-          if (cas(&slots_[i], c, merged)) return finish(advances, probe_limit);
-          continue;  // another insert changed the slot; retry this slot
-        } else {
-          return finish(advances, probe_limit);  // key already present
-        }
-      }
-      if (higher_priority(c, v)) {
-        i = next(i);
-        if (++advances > cap) throw table_full_error();
-        if (!committed && advances > probe_limit) return insert_result::aborted;
-      } else if (cas(&slots_[i], c, v)) {
-        // The displaced (strictly lower priority) element, possibly ⊥, is
-        // now this operation's responsibility.
-        committed = true;
-        if (Traits::is_empty(c)) occupied_.increment();
-        v = c;
-        i = next(i);
-        if (++advances > cap) throw table_full_error();
-      }
-      // CAS failure: re-read the same slot and try again.
-    }
-    return finish(advances, probe_limit);
-  }
-
-  static insert_result finish(std::size_t advances, std::size_t probe_limit) noexcept {
-    return advances > probe_limit ? insert_result::lengthy : insert_result::ok;
-  }
-
- public:
-
-  // DELETE (Figure 1, lines 25-41). Safe to call concurrently with other
-  // erases only. Removes the (single) entry whose key equals `kq`, filling
-  // the hole history-independently via FindReplacement.
-  void erase(key_type kq) {
-    typename Phase::scope guard(phase_, op_kind::erase);
-    const std::size_t cap = capacity();
-    // Unwrapped coordinates, offset by one capacity so they never underflow.
-    const std::uint64_t i = cap + home(kq);
-    std::uint64_t k = i;
-    // Initial forward scan (lines 27-29): past every slot whose key has
-    // strictly higher priority than kq.
-    for (;;) {
-      const value_type c = atomic_load(slot(k));
-      if (Traits::is_empty(c) || !Traits::priority_less(kq, Traits::key(c))) break;
-      ++k;
-      if (k - i > cap) throw table_full_error();
-    }
-    erase_downward(kq, i, k);
-  }
-
-  // Batch-engine continuation (core/batch_ops.h): the pipelined engine has
-  // already run the initial forward scan, stopping `fwd_advances` slots past
-  // the key's home; run the downward scan from there.
-  void erase_from(key_type kq, std::size_t fwd_advances) {
-    typename Phase::scope guard(phase_, op_kind::erase);
-    const std::uint64_t i = capacity() + home(kq);
-    erase_downward(kq, i, i + fwd_advances);
-  }
-
- private:
-  // Downward scan (lines 30-41), from unwrapped position k down to the
-  // query key's unwrapped home i.
-  void erase_downward(key_type kq, std::uint64_t i, std::uint64_t k) {
-    while (k >= i) {
-      const value_type c = atomic_load(slot(k));
-      if (Traits::is_empty(c) || !Traits::key_equal(Traits::key(c), kq)) {
-        --k;
-        continue;
-      }
-      const auto [j, w] = find_replacement(k);
-      if (cas(slot(k), c, w)) {
-        if (!Traits::is_empty(w)) {
-          // A second copy of w now exists; this operation becomes an
-          // outstanding delete for w (lines 36-39).
-          kq = Traits::key(w);
-          k = j;
-          i = unwrapped_home(w, j);
-        } else {
-          occupied_.decrement();
-          return;
-        }
-      } else {
-        --k;  // the copy we saw was deleted or moved down; keep scanning
-      }
-    }
-  }
-
- public:
-
-  // FIND (Figure 1, lines 42-46). Safe concurrently with finds/elements.
-  // Returns the stored value for key kq, or Traits::empty() if absent. The
-  // ordering invariant lets the probe stop at the first slot whose priority
-  // is not higher than kq — absent keys can be cheaper than in standard
-  // linear probing.
-  value_type find(key_type kq) const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    const std::size_t cap = capacity();
-    std::size_t i = home(kq);
-    std::size_t advances = 0;
-    for (;;) {
-      const value_type c = atomic_load(&slots_[i]);
-      if (Traits::is_empty(c)) return Traits::empty();
-      if (!Traits::priority_less(kq, Traits::key(c))) {
-        return Traits::key_equal(Traits::key(c), kq) ? c : Traits::empty();
-      }
-      i = next(i);
-      if (++advances > cap) throw table_full_error();
-    }
-  }
-
-  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
-
-  // ELEMENTS(): the occupied slots packed in slot order. Because the layout
-  // is history-independent, the result is a deterministic function of the
-  // table's contents. Same phase class as find.
-  std::vector<value_type> elements() const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    return slots_.elements();
-  }
-
-  // Applies f to each occupied slot (in parallel); query phase.
-  template <typename F>
-  void for_each(F&& f) const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    parallel_for(0, capacity(), [&](std::size_t s) {
-      const value_type c = slots_[s];
-      if (!Traits::is_empty(c)) f(c);
-    });
-  }
-
-  // Raw slot view for tests (layout/ordering-invariant verification).
-  const value_type* raw_slots() const noexcept { return slots_.data(); }
-
-  // Address of the key's home slot, for software prefetching in batched
-  // operations (see core/batch_ops.h).
-  const void* home_address(key_type k) const noexcept { return &slots_[home(k)]; }
-
-  // Batch-engine phase hooks: one scope spanning a whole pipelined block,
-  // so checked_phases observes batched traffic it would otherwise miss.
-  typename Phase::scope batch_query_scope() const {
-    return typename Phase::scope(phase_, op_kind::query);
-  }
-  typename Phase::scope batch_insert_scope() {
-    return typename Phase::scope(phase_, op_kind::insert);
-  }
-  typename Phase::scope batch_erase_scope() {
-    return typename Phase::scope(phase_, op_kind::erase);
-  }
-
- private:
-  std::size_t home(key_type k) const noexcept { return Traits::hash(k) & slots_.mask(); }
-  std::size_t next(std::size_t i) const noexcept { return (i + 1) & slots_.mask(); }
-  value_type* slot(std::uint64_t unwrapped) noexcept {
-    return &slots_[unwrapped & slots_.mask()];
-  }
-  const value_type* slot(std::uint64_t unwrapped) const noexcept {
-    return &slots_[unwrapped & slots_.mask()];
-  }
-
-  // True iff slot value c has strictly higher priority than v (⊥ is the
-  // lowest priority; keys are compared with Traits::priority_less).
-  static bool higher_priority(value_type c, value_type v) noexcept {
-    if (Traits::is_empty(c)) return false;
-    if (Traits::is_empty(v)) return true;
-    return Traits::priority_less(Traits::key(v), Traits::key(c));
-  }
-
-  // Unwrapped home position of element v observed at unwrapped position j:
-  // the representative of h(key(v)) in the window (j - capacity, j].
-  std::uint64_t unwrapped_home(value_type v, std::uint64_t j) const noexcept {
-    const std::uint64_t raw = home(Traits::key(v));
-    return j - ((j - raw) & slots_.mask());
-  }
-
-  // FINDREPLACEMENT (Figure 1, lines 11-24): locate the element that must
-  // fill the hole at unwrapped position k. Scans up to the first candidate
-  // that is ⊥ or hashes at-or-before k, then re-scans down because
-  // concurrent deletes only move elements toward lower positions.
-  std::pair<std::uint64_t, value_type> find_replacement(std::uint64_t k) const {
-    const std::size_t cap = capacity();
-    std::uint64_t j = k;
-    value_type w;
-    do {
-      ++j;
-      if (j - k > cap) throw table_full_error();
-      w = atomic_load(slot(j));
-    } while (!Traits::is_empty(w) && unwrapped_home(w, j) > k);
-    for (std::uint64_t m = j - 1; m > k; --m) {
-      const value_type w2 = atomic_load(slot(m));
-      if (Traits::is_empty(w2) || unwrapped_home(w2, m) <= k) {
-        w = w2;
-        j = m;
-      }
-    }
-    return {j, w};
-  }
-
-  slot_array<Traits> slots_;
-  striped_counter occupied_;
-  mutable Phase phase_;
-};
+using deterministic_table =
+    probe_engine<Traits, Phase, prioritized_order, backshift_delete>;
 
 }  // namespace phch

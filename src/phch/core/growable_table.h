@@ -8,8 +8,9 @@
 // allocating simultaneously"), and insertions cooperate to migrate the old
 // contents before continuing — re-inserting with the same deterministic
 // protocol, so the migrated layout is history-independent too. Migration is
-// block-parallel: helpers claim fixed-size blocks of the old slot array from
-// an atomic cursor.
+// batched: the old table's live elements are packed out in parallel and
+// re-inserted through the software-pipelined batch engine, so the copy
+// overlaps its cache misses exactly like any other insert batch.
 //
 // Divergence from the paper's sketch, documented here: the paper migrates
 // *incrementally* (each insert copies two elements and both tables stay
@@ -19,15 +20,24 @@
 // table, preserves determinism trivially, and has the same amortized cost.
 // Only inserts can trigger growth; finds and deletes see a single table, as
 // in the paper.
+//
+// The wrapper implements its own insert_batch/find_batch/erase_batch, so
+// the free batch functions (core/batch_ops.h) forward to it
+// (`batch_forwarding_table`): a batch insert runs in bounded chunks with one
+// striped-counter occupancy check per chunk — never per element — and grows
+// between chunks, so a single batch may cross several capacity doublings.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "phch/core/batch_ops.h"
 #include "phch/core/deterministic_table.h"
+#include "phch/core/table_concepts.h"
 #include "phch/parallel/spinlock.h"  // cpu_relax
 
 namespace phch {
@@ -36,8 +46,13 @@ template <typename Traits = int_entry<>, typename Phase = unchecked_phases>
 class growable_table {
  public:
   using inner_table = deterministic_table<Traits, Phase>;
+  using traits = Traits;
   using value_type = typename Traits::value_type;
   using key_type = typename Traits::key_type;
+
+  static_assert(growable_source<inner_table>,
+                "growable_table's inner table must model growable_source "
+                "(bounded inserts + striped occupancy)");
 
   explicit growable_table(std::size_t initial_capacity = 1024,
                           std::size_t probe_limit_factor = 16)
@@ -47,32 +62,46 @@ class growable_table {
   std::size_t capacity() const noexcept { return table_->capacity(); }
   std::size_t count() const { return table_->count(); }
 
+  // The inner table's striped occupancy counter (exact at phase boundaries),
+  // surfaced so callers see the same size API on the wrapper as on the flat
+  // tables.
+  std::size_t approx_size() const noexcept { return table_->approx_size(); }
+
   void insert(value_type v) {
     using result = typename inner_table::insert_result;
     for (;;) {
       enter();
       result r;
+      std::size_t cap;
+      bool crowded = false;
       try {
-        r = table_->insert_bounded(v, probe_limit());
+        // All reads of *table_ happen inside the enter()/leave() window: a
+        // concurrent grow() swaps the unique_ptr only after draining the
+        // active count, so reading capacity or the striped counter after
+        // leave() would race with the swap.
+        cap = table_->capacity();
+        r = table_->insert_bounded(v, probe_limit(cap));
+        if (r == result::ok) {
+          // Secondary trigger: grow once occupancy passes 3/4 of capacity
+          // (the probe-length trigger alone cannot protect very small
+          // tables, where individual probes can stay short right up to
+          // full). approx_size() is the striped occupancy counter — a lazy
+          // per-stripe sum, so this check adds read traffic only, never a
+          // contended read-modify-write on the insert hot path.
+          crowded = table_->approx_size() >= cap - cap / 4;
+        }
       } catch (...) {
         leave();
         throw;
       }
       leave();
       if (r == result::ok) {
-        // Secondary trigger: grow once occupancy passes 3/4 of capacity
-        // (the probe-length trigger alone cannot protect very small tables,
-        // where individual probes can stay short right up to full).
-        // approx_size() is the inner table's striped occupancy counter —
-        // a lazy per-stripe sum, so this check adds read traffic only, never
-        // a contended read-modify-write on the insert hot path.
-        const std::size_t cap = table_->capacity();
-        if (table_->approx_size() >= cap - cap / 4) grow(cap * 2);
+        if (crowded) grow(cap * 2);
         return;
       }
       // Probe sequence too long: this table is overfull. Grow it (or help a
       // growth already under way), then retry if the insert was aborted.
-      grow(table_->capacity() * 2);
+      grow(cap * 2);
       if (r == result::lengthy) return;  // inserted, just slowly
     }
   }
@@ -82,18 +111,67 @@ class growable_table {
   bool contains(key_type kq) const { return table_->contains(kq); }
   std::vector<value_type> elements() const { return table_->elements(); }
 
+  // --- whole-batch operations ----------------------------------------------
+  //
+  // Batch inserts run in fixed-size chunks. Before each chunk the wrapper
+  // checks — once, against the striped counter — that the chunk fits under
+  // the 3/4 occupancy ceiling, growing until it does; the chunk itself then
+  // runs the software-pipelined engine on the inner table with no per-insert
+  // occupancy reads and no probe-length bookkeeping. A single batch may
+  // trigger several growths. A batch is one insert phase (Definition 1), so
+  // finds/erases never run concurrently with it.
+
+  void insert_batch(const value_type* values, std::size_t n) {
+    for (std::size_t s = 0; s < n;) {
+      const std::size_t chunk = std::min(kGrowChunk, n - s);
+      enter();
+      const std::size_t cap = table_->capacity();
+      const bool fits = table_->approx_size() + chunk <= cap - cap / 4;
+      if (!fits) {
+        leave();
+        grow(cap * 2);
+        continue;  // re-check: one doubling may not be enough headroom
+      }
+      try {
+        insert_batch_range(*table_, values + s, chunk);
+      } catch (...) {
+        leave();
+        throw;
+      }
+      leave();
+      s += chunk;
+    }
+  }
+  void insert_batch(const std::vector<value_type>& values) {
+    insert_batch(values.data(), values.size());
+  }
+
+  std::vector<value_type> find_batch(const std::vector<key_type>& keys) const {
+    return phch::find_batch(*table_, keys);
+  }
+
+  void erase_batch(const std::vector<key_type>& keys) {
+    phch::erase_batch(*table_, keys);
+  }
+
   std::size_t growth_count() const noexcept {
     return growths_.load(std::memory_order_relaxed);
   }
 
  private:
-  std::size_t probe_limit() const noexcept {
+  // Elements per growth-checked chunk of a batch insert. Small enough that
+  // "fits under the occupancy ceiling" is checkable up front per chunk,
+  // large enough to amortize the check and keep the pipelined engine's
+  // blocks full.
+  static constexpr std::size_t kGrowChunk = 4096;
+
+  std::size_t probe_limit(std::size_t cap) const noexcept {
     // k * log2(capacity): beyond this an insert declares the table overfull.
     // Capped at half the capacity so small tables trigger growth instead of
     // genuinely filling up.
     std::size_t lg = 1;
-    for (std::size_t c = table_->capacity(); c > 1; c >>= 1) ++lg;
-    return std::min(probe_limit_factor_ * lg, table_->capacity() / 2);
+    for (std::size_t c = cap; c > 1; c >>= 1) ++lg;
+    return std::min(probe_limit_factor_ * lg, cap / 2);
   }
 
   void enter() noexcept {
@@ -114,16 +192,14 @@ class growable_table {
     // Drain in-flight inserts on the old table.
     while (active_.load(std::memory_order_acquire) != 0) cpu_relax();
     auto fresh = std::make_unique<inner_table>(target_capacity);
-    // Migrate: deterministic re-insertion of the old contents. The grower
-    // runs this with a parallel loop (worker threads stuck in enter() spin,
-    // so on an oversubscribed machine migration may serialize; correctness
-    // is unaffected).
-    const inner_table& old = *table_;
-    const value_type* slots = old.raw_slots();
-    parallel_for(0, old.capacity(), [&](std::size_t s) {
-      const value_type c = slots[s];
-      if (!Traits::is_empty(c)) fresh->insert(c);
-    });
+    // Migrate: deterministic re-insertion of the old contents through the
+    // pipelined batch engine (worker threads stuck in enter() spin, so on an
+    // oversubscribed machine migration may serialize; correctness is
+    // unaffected). Theorem 1 makes the migrated layout identical to a fresh
+    // build regardless of re-insertion order, so batching changes nothing
+    // observable.
+    std::vector<value_type> live = table_->elements();
+    insert_batch_range(*fresh, live.data(), live.size());
     table_ = std::move(fresh);
     growths_.fetch_add(1, std::memory_order_relaxed);
     resizing_.store(false, std::memory_order_release);
@@ -136,5 +212,7 @@ class growable_table {
   std::atomic<std::size_t> active_{0};
   std::atomic<std::size_t> growths_{0};
 };
+
+static_assert(batch_forwarding_table<growable_table<>>);
 
 }  // namespace phch

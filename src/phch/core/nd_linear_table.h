@@ -15,229 +15,16 @@
 // deterministic table (the replacement choice depends only on hash homes,
 // not priorities): find the element, swap in the nearest later element that
 // hashes at-or-before the hole, then chase the duplicated copy.
+//
+// Implementation: arrival-order placement with back-shift deletion over the
+// shared open-addressing core (core/probe_engine.h).
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <utility>
-#include <vector>
-
-#include "phch/core/entry_traits.h"
-#include "phch/core/phase_guard.h"
-#include "phch/core/table_common.h"
-#include "phch/parallel/atomics.h"
-#include "phch/parallel/striped_counter.h"
+#include "phch/core/probe_engine.h"
 
 namespace phch {
 
 template <typename Traits = int_entry<>, typename Phase = unchecked_phases>
-class nd_linear_table {
- public:
-  using traits = Traits;
-  using value_type = typename Traits::value_type;
-  using key_type = typename Traits::key_type;
-
-  // No ordering invariant: probes stop only at ⊥ or an equal key (batch
-  // engine tag).
-  static constexpr bool ordered_probes = false;
-
-  explicit nd_linear_table(std::size_t min_capacity) : slots_(min_capacity) {}
-
-  std::size_t capacity() const noexcept { return slots_.capacity(); }
-  std::size_t count() const { return slots_.count(); }
-
-  // Occupied-slot count from a cache-line-striped counter (exact at phase
-  // boundaries, summed lazily), mirroring deterministic_table so wrappers
-  // and load triggers treat both linear tables uniformly.
-  std::size_t approx_size() const noexcept {
-    return static_cast<std::size_t>(occupied_.sum());
-  }
-  double load_factor() const { return static_cast<double>(count()) / capacity(); }
-  void clear() {
-    slots_.clear();
-    occupied_.reset();
-  }
-
-  void insert(value_type v) {
-    assert(!Traits::is_empty(v));
-    insert_impl(v, home(Traits::key(v)), 0);
-  }
-
-  // Batch-engine continuation (core/batch_ops.h): resume the probe at slot
-  // i after the pipelined prefix advanced past `advances` occupied slots.
-  void insert_from(value_type v, std::size_t i, std::size_t advances) {
-    insert_impl(v, i, advances);
-  }
-
-  void erase(key_type kq) {
-    typename Phase::scope guard(phase_, op_kind::erase);
-    const std::size_t cap = capacity();
-    const std::uint64_t i = cap + home(kq);
-    std::uint64_t k = i;
-    // Without an ordering invariant the forward scan can only stop at ⊥.
-    for (;;) {
-      if (Traits::is_empty(atomic_load(slot(k)))) break;
-      ++k;
-      if (k - i > cap) throw table_full_error();
-    }
-    erase_downward(kq, i, k);
-  }
-
-  // Batch-engine continuation: forward scan already done by the pipelined
-  // engine, stopping `fwd_advances` slots past the key's home.
-  void erase_from(key_type kq, std::size_t fwd_advances) {
-    typename Phase::scope guard(phase_, op_kind::erase);
-    const std::uint64_t i = capacity() + home(kq);
-    erase_downward(kq, i, i + fwd_advances);
-  }
-
- private:
-  void insert_impl(value_type v, std::size_t i, std::size_t advances) {
-    typename Phase::scope guard(phase_, op_kind::insert);
-    const std::size_t cap = capacity();
-    for (;;) {
-      const value_type c = atomic_load(&slots_[i]);
-      if (Traits::is_empty(c)) {
-        if (cas(&slots_[i], c, v)) {
-          occupied_.increment();
-          return;
-        }
-        continue;  // slot was taken meanwhile; re-examine it
-      }
-      if (Traits::key_equal(Traits::key(c), Traits::key(v))) {
-        if constexpr (Traits::has_combine) {
-          combine_slot(&slots_[i], c, v);
-        }
-        return;  // never replaces on duplicate keys
-      }
-      i = next(i);
-      if (++advances > cap) throw table_full_error();
-    }
-  }
-
-  void erase_downward(key_type kq, std::uint64_t i, std::uint64_t k) {
-    while (k >= i) {
-      const value_type c = atomic_load(slot(k));
-      if (Traits::is_empty(c) || !Traits::key_equal(Traits::key(c), kq)) {
-        --k;
-        continue;
-      }
-      const auto [j, w] = find_replacement(k);
-      if (cas(slot(k), c, w)) {
-        if (!Traits::is_empty(w)) {
-          kq = Traits::key(w);
-          k = j;
-          i = unwrapped_home(w, j);
-        } else {
-          occupied_.decrement();
-          return;
-        }
-      } else {
-        --k;
-      }
-    }
-  }
-
- public:
-
-  // Probe until the key or an empty slot; no early exit is possible without
-  // the ordering invariant.
-  value_type find(key_type kq) const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    const std::size_t cap = capacity();
-    std::size_t i = home(kq);
-    std::size_t advances = 0;
-    for (;;) {
-      const value_type c = atomic_load(&slots_[i]);
-      if (Traits::is_empty(c)) return Traits::empty();
-      if (Traits::key_equal(Traits::key(c), kq)) return c;
-      i = next(i);
-      if (++advances > cap) throw table_full_error();
-    }
-  }
-
-  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
-
-  std::vector<value_type> elements() const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    return slots_.elements();
-  }
-
-  template <typename F>
-  void for_each(F&& f) const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    parallel_for(0, capacity(), [&](std::size_t s) {
-      const value_type c = slots_[s];
-      if (!Traits::is_empty(c)) f(c);
-    });
-  }
-
-  const value_type* raw_slots() const noexcept { return slots_.data(); }
-
-  // Address of the key's home slot, for software prefetching in batched
-  // operations (see core/batch_ops.h).
-  const void* home_address(key_type k) const noexcept { return &slots_[home(k)]; }
-
-  // Batch-engine phase hooks: one scope spanning a whole pipelined block.
-  typename Phase::scope batch_query_scope() const {
-    return typename Phase::scope(phase_, op_kind::query);
-  }
-  typename Phase::scope batch_insert_scope() {
-    return typename Phase::scope(phase_, op_kind::insert);
-  }
-  typename Phase::scope batch_erase_scope() {
-    return typename Phase::scope(phase_, op_kind::erase);
-  }
-
- private:
-  std::size_t home(key_type k) const noexcept { return Traits::hash(k) & slots_.mask(); }
-  std::size_t next(std::size_t i) const noexcept { return (i + 1) & slots_.mask(); }
-  value_type* slot(std::uint64_t unwrapped) noexcept {
-    return &slots_[unwrapped & slots_.mask()];
-  }
-  const value_type* slot(std::uint64_t unwrapped) const noexcept {
-    return &slots_[unwrapped & slots_.mask()];
-  }
-  std::uint64_t unwrapped_home(value_type v, std::uint64_t j) const noexcept {
-    const std::uint64_t raw = home(Traits::key(v));
-    return j - ((j - raw) & slots_.mask());
-  }
-
-  static void combine_slot(value_type* p, value_type seen, value_type incoming) noexcept {
-    if constexpr (requires { Traits::combine_inplace(p, incoming); }) {
-      Traits::combine_inplace(p, incoming);
-    } else {
-      value_type cur = seen;
-      for (;;) {
-        const value_type merged = Traits::combine(cur, incoming);
-        if (bits_equal(merged, cur) || cas(p, cur, merged)) return;
-        cur = atomic_load(p);
-      }
-    }
-  }
-
-  std::pair<std::uint64_t, value_type> find_replacement(std::uint64_t k) const {
-    const std::size_t cap = capacity();
-    std::uint64_t j = k;
-    value_type w;
-    do {
-      ++j;
-      if (j - k > cap) throw table_full_error();
-      w = atomic_load(slot(j));
-    } while (!Traits::is_empty(w) && unwrapped_home(w, j) > k);
-    for (std::uint64_t m = j - 1; m > k; --m) {
-      const value_type w2 = atomic_load(slot(m));
-      if (Traits::is_empty(w2) || unwrapped_home(w2, m) <= k) {
-        w = w2;
-        j = m;
-      }
-    }
-    return {j, w};
-  }
-
-  slot_array<Traits> slots_;
-  striped_counter occupied_;
-  mutable Phase phase_;
-};
+using nd_linear_table = probe_engine<Traits, Phase, arrival_order, backshift_delete>;
 
 }  // namespace phch

@@ -102,16 +102,9 @@ class serial_table_hi {
 
   bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
 
-  // Sequential elements(): a single pass, no prefix sum (the paper notes
-  // the serial versions are cheaper for this reason).
-  std::vector<value_type> elements() const {
-    std::vector<value_type> out;
-    out.reserve(capacity() / 2);
-    for (std::size_t s = 0; s < capacity(); ++s) {
-      if (!Traits::is_empty(slots_[s])) out.push_back(slots_[s]);
-    }
-    return out;
-  }
+  // The shared pack-based ELEMENTS() (table_common.h); slot order, so the
+  // output is a deterministic function of the layout.
+  std::vector<value_type> elements() const { return slots_.elements(); }
 
   const value_type* raw_slots() const noexcept { return slots_.data(); }
 
@@ -193,14 +186,7 @@ class serial_table_hd {
 
   bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
 
-  std::vector<value_type> elements() const {
-    std::vector<value_type> out;
-    out.reserve(capacity() / 2);
-    for (std::size_t s = 0; s < capacity(); ++s) {
-      if (!Traits::is_empty(slots_[s])) out.push_back(slots_[s]);
-    }
-    return out;
-  }
+  std::vector<value_type> elements() const { return slots_.elements(); }
 
   const value_type* raw_slots() const noexcept { return slots_.data(); }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "phch/core/table_concepts.h"
 #include "phch/parallel/primitives.h"
 
 namespace phch {
@@ -80,7 +81,7 @@ probe_stats analyze_slots(const typename Traits::value_type* slots, std::size_t 
   return st;
 }
 
-template <typename Table>
+template <open_addressing_table Table>
 probe_stats analyze(const Table& t) {
   return analyze_slots<typename Table::traits>(t.raw_slots(), t.capacity());
 }

@@ -4,141 +4,27 @@
 // inserts and finds skip over tombstones, and an insert is NOT allowed to
 // reuse one (doing so lock-freely would race with concurrent finds of the
 // same key further along the probe path). The only way to reclaim
-// tombstones is to rebuild the whole table.
+// tombstones is to rebuild the whole table (`compact()`).
 //
 // This baseline exists to demonstrate *why* the paper's tables shift
 // elements back instead: under churn (repeated insert/delete phases) the
 // tombstone population grows monotonically, probe paths lengthen, and the
 // table eventually "fills" with garbage — measured in bench_ablation and
 // exercised in tests. Phase-concurrent like the others.
+//
+// Implementation: arrival-order placement with tombstone deletion over the
+// shared open-addressing core (core/probe_engine.h). Because the core
+// distills the policy into the probe classifiers the batch engine consumes,
+// this table gets the same software-pipelined insert_batch / find_batch /
+// erase_batch as the back-shifting tables. Tombstone-specific surface
+// (footprint(), compact()) is enabled on the engine by the delete policy.
 #pragma once
 
-#include <cassert>
-#include <cstdint>
-#include <vector>
-
-#include "phch/core/entry_traits.h"
-#include "phch/core/phase_guard.h"
-#include "phch/core/table_common.h"
-#include "phch/parallel/atomics.h"
+#include "phch/core/probe_engine.h"
 
 namespace phch {
 
 template <typename Traits = int_entry<>, typename Phase = unchecked_phases>
-class tombstone_table {
- public:
-  using traits = Traits;
-  using value_type = typename Traits::value_type;
-  using key_type = typename Traits::key_type;
-
-  explicit tombstone_table(std::size_t min_capacity) : slots_(min_capacity) {}
-
-  std::size_t capacity() const noexcept { return slots_.capacity(); }
-
-  std::size_t count() const {
-    return reduce(std::size_t{0}, capacity(), std::size_t{0}, std::plus<std::size_t>{},
-                  [&](std::size_t i) { return std::size_t{is_live(slots_[i])}; });
-  }
-
-  // Live entries plus tombstones: the footprint that governs probe lengths.
-  std::size_t footprint() const {
-    return reduce(std::size_t{0}, capacity(), std::size_t{0}, std::plus<std::size_t>{},
-                  [&](std::size_t i) {
-                    return std::size_t{!Traits::is_empty(slots_[i])};
-                  });
-  }
-
-  void insert(value_type v) {
-    typename Phase::scope guard(phase_, op_kind::insert);
-    assert(!Traits::is_empty(v));
-    std::size_t i = home(Traits::key(v));
-    std::size_t advances = 0;
-    for (;;) {
-      const value_type c = atomic_load(&slots_[i]);
-      if (Traits::is_empty(c)) {
-        if (cas(&slots_[i], c, v)) return;
-        continue;
-      }
-      // Tombstones are skipped, never reused.
-      if (!is_tombstone(c) && Traits::key_equal(Traits::key(c), Traits::key(v))) {
-        if constexpr (Traits::has_combine) {
-          value_type cur = c;
-          for (;;) {
-            const value_type merged = Traits::combine(cur, v);
-            if (bits_equal(merged, cur) || cas(&slots_[i], cur, merged)) return;
-            cur = atomic_load(&slots_[i]);
-            if (is_tombstone(cur)) break;  // deleted meanwhile; keep probing
-          }
-        } else {
-          return;
-        }
-      }
-      i = next(i);
-      if (++advances > capacity()) throw table_full_error();
-    }
-  }
-
-  void erase(key_type kq) {
-    typename Phase::scope guard(phase_, op_kind::erase);
-    std::size_t i = home(kq);
-    std::size_t advances = 0;
-    for (;;) {
-      const value_type c = atomic_load(&slots_[i]);
-      if (Traits::is_empty(c)) return;  // not present
-      if (!is_tombstone(c) && Traits::key_equal(Traits::key(c), kq)) {
-        // Replace with the tombstone; a failed CAS means a concurrent erase
-        // got it first (same result).
-        cas(&slots_[i], c, Traits::busy());
-        return;
-      }
-      i = next(i);
-      if (++advances > capacity()) return;
-    }
-  }
-
-  value_type find(key_type kq) const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    std::size_t i = home(kq);
-    std::size_t advances = 0;
-    for (;;) {
-      const value_type c = atomic_load(&slots_[i]);
-      if (Traits::is_empty(c)) return Traits::empty();
-      if (!is_tombstone(c) && Traits::key_equal(Traits::key(c), kq)) return c;
-      i = next(i);
-      if (++advances > capacity()) return Traits::empty();
-    }
-  }
-
-  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
-
-  std::vector<value_type> elements() const {
-    typename Phase::scope guard(phase_, op_kind::query);
-    return pack(
-        capacity(), [&](std::size_t i) { return is_live(slots_[i]); },
-        [&](std::size_t i) { return slots_[i]; });
-  }
-
-  // Rebuilds the table, dropping tombstones — the "copy the whole hash
-  // table" reclamation §2 describes. Quiescent-point operation.
-  void compact() {
-    std::vector<value_type> live = elements();
-    slots_.clear();
-    parallel_for(0, live.size(), [&](std::size_t i) { insert(live[i]); });
-  }
-
-  const value_type* raw_slots() const noexcept { return slots_.data(); }
-
- private:
-  std::size_t home(key_type k) const noexcept { return Traits::hash(k) & slots_.mask(); }
-  std::size_t next(std::size_t i) const noexcept { return (i + 1) & slots_.mask(); }
-
-  static bool is_tombstone(value_type c) noexcept { return bits_equal(c, Traits::busy()); }
-  static bool is_live(value_type c) noexcept {
-    return !Traits::is_empty(c) && !is_tombstone(c);
-  }
-
-  slot_array<Traits> slots_;
-  mutable Phase phase_;
-};
+using tombstone_table = probe_engine<Traits, Phase, arrival_order, tombstone_delete>;
 
 }  // namespace phch

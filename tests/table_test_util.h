@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "phch/core/entry_traits.h"
+#include "phch/core/table_concepts.h"
 #include "phch/parallel/parallel_for.h"
 #include "phch/utils/rand.h"
 
@@ -58,13 +59,14 @@ std::vector<T> shuffled(std::vector<T> v, std::uint64_t seed) {
   return v;
 }
 
-// Inserts keys into the table from a parallel loop.
-template <typename Table, typename Seq>
+// Inserts keys into the table from a parallel loop (one insert phase).
+template <phch::phase_table Table, typename Seq>
 void parallel_insert(Table& t, const Seq& keys) {
   phch::parallel_for(0, keys.size(), [&](std::size_t i) { t.insert(keys[i]); });
 }
 
-template <typename Table, typename Seq>
+// One erase phase.
+template <phch::deletable_table Table, typename Seq>
 void parallel_erase(Table& t, const Seq& keys) {
   phch::parallel_for(0, keys.size(), [&](std::size_t i) { t.erase(keys[i]); });
 }

@@ -6,7 +6,9 @@
 #include <set>
 
 #include "phch/core/auto_phased_table.h"
+#include "phch/core/chained_table.h"
 #include "phch/core/nd_linear_table.h"
+#include "phch/core/table_concepts.h"
 #include "table_test_util.h"
 
 namespace phch {
@@ -15,6 +17,18 @@ namespace {
 // The rooms enforce phase discipline, so this composes with the *checked*
 // phase policy: if the rooms ever let classes overlap, the guard aborts.
 using safe_table = auto_phased_table<deterministic_table<int_entry<>, checked_phases>>;
+
+// The wrapper routes through the concepts layer: it accepts exactly the
+// deletable open-addressing tables and rejects everything else at compile
+// time (a constraint failure, not a member-lookup error deep inside).
+template <typename T>
+concept wrappable = requires { typename auto_phased_table<T>; };
+static_assert(wrappable<deterministic_table<int_entry<>>>);
+static_assert(wrappable<nd_linear_table<int_entry<>>>);
+static_assert(!wrappable<std::vector<std::uint64_t>>);   // not a table at all
+static_assert(!wrappable<chained_table<int_entry<>>>);   // no flat slot array
+static_assert(!open_addressing_table<chained_table<int_entry<>>>);
+static_assert(deletable_table<deterministic_table<int_entry<>>>);
 
 TEST(AutoPhasedTable, SequentialApiWorks) {
   safe_table t(256);

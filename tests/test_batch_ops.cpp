@@ -11,6 +11,8 @@
 #include "phch/core/batch_ops.h"
 #include "phch/core/deterministic_table.h"
 #include "phch/core/nd_linear_table.h"
+#include "phch/core/table_concepts.h"
+#include "phch/core/tombstone_table.h"
 #include "phch/workloads/sequences.h"
 #include "phch/workloads/trigram.h"
 #include "table_test_util.h"
@@ -282,6 +284,99 @@ TEST(BatchOps, EveryPipelineWidthMatchesScalar) {
     erase_batch_scalar(erased_ref, dels);
     expect_same_layout(t, erased_ref);
   }
+}
+
+// --- tombstone table through the same engine -------------------------------
+//
+// The engine reaches the tombstone table through the shared classifiers
+// (it models batchable_table like the back-shifting tables). Insert layout
+// is arrival-order-dependent here, so bit-identical pipelined-vs-scalar
+// layouts are only provable where the arrival order is fixed (width 1,
+// single thread); erase layout equality holds at *every* width because a
+// tombstone erase marks its key's exact slot regardless of processing
+// order, and find equality always holds because finds are read-only.
+
+static_assert(batchable_table<tombstone_table<int_entry<>>>);
+static_assert(tombstone_table<int_entry<>>::bounded_probes);
+static_assert(!deterministic_table<int_entry<>>::bounded_probes);
+
+TEST(BatchOpsTombstone, BatchSetSemanticsMatchReference) {
+  const auto keys = test::dup_keys(15000, 9000, 41);
+  tombstone_table<int_entry<>> t(1 << 15);
+  insert_batch(t, keys);
+  const std::set<std::uint64_t> ref(keys.begin(), keys.end());
+  ASSERT_EQ(t.count(), ref.size());
+  ASSERT_EQ(t.approx_size(), ref.size());  // striped counter, live entries
+
+  std::vector<std::uint64_t> qs(keys.begin(), keys.begin() + 4000);
+  qs.push_back(1ULL << 50);  // absent
+  const auto out = find_batch(t, qs);
+  for (std::size_t i = 0; i + 1 < qs.size(); ++i) ASSERT_EQ(out[i], qs[i]);
+  EXPECT_TRUE(int_entry<>::is_empty(out.back()));
+
+  std::vector<std::uint64_t> dels;
+  std::size_t i = 0;
+  for (const auto k : ref) {
+    if (i++ % 2 == 0) dels.push_back(k);
+  }
+  erase_batch(t, dels);
+  ASSERT_EQ(t.count(), ref.size() - dels.size());
+  ASSERT_EQ(t.approx_size(), ref.size() - dels.size());
+  for (const auto d : dels) ASSERT_FALSE(t.contains(d));
+}
+
+TEST(BatchOpsTombstone, EraseBatchLayoutEqualsScalarAtEveryWidth) {
+  const auto keys = test::unique_keys(6000, 43);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                                  std::size_t{16}, std::size_t{64}}) {
+    tombstone_table<int_entry<>> piped(1 << 14);
+    tombstone_table<int_entry<>> scalar(1 << 14);
+    // Same serial arrival order into both tables: identical layouts.
+    for (const auto k : keys) piped.insert(k);
+    for (const auto k : keys) scalar.insert(k);
+    expect_same_layout(piped, scalar);
+
+    std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 2500);
+    dels.push_back(1ULL << 51);  // absent key: both paths must no-op
+    batch_detail::erase_block_pipelined(piped, dels.data(), dels.size(), width);
+    for (const auto d : dels) scalar.erase(d);
+    expect_same_layout(piped, scalar);  // tombstones land in the same slots
+    ASSERT_EQ(piped.footprint(), scalar.footprint());
+  }
+}
+
+TEST(BatchOpsTombstone, InsertWidthOneSingleThreadMatchesScalarLayout) {
+  // At width 1 on one thread the pipelined engine performs exactly the
+  // scalar probe sequence in exactly the scalar order, so even this
+  // arrival-order-dependent layout must come out bit-identical.
+  const auto keys = test::dup_keys(8000, 5000, 47);
+  tombstone_table<int_entry<>> piped(1 << 14);
+  tombstone_table<int_entry<>> scalar(1 << 14);
+  batch_detail::insert_block_pipelined(piped, keys.data(), keys.size(), 1);
+  for (const auto k : keys) scalar.insert(k);
+  expect_same_layout(piped, scalar);
+}
+
+TEST(BatchOpsTombstone, BoundedProbesResolveMissesOnGarbageFullTable) {
+  // Fill a 64-slot table completely with 32 live keys + 32 tombstones: no
+  // empty slot remains, so an absent-key probe wraps the whole table. The
+  // bounded-probe path must resolve that as a miss (scalar find semantics),
+  // not a table_full_error, in both find and erase batches.
+  tombstone_table<int_entry<>> t(64);
+  const auto first = test::unique_keys(32, 53);
+  const auto second = test::unique_keys(32, 59);
+  for (const auto k : first) t.insert(k);
+  for (const auto k : first) t.erase(k);
+  for (const auto k : second) t.insert(k);
+  ASSERT_EQ(t.footprint(), 64u);  // every slot live or tombstone
+
+  std::vector<std::uint64_t> absent;
+  for (std::uint64_t i = 0; i < 40; ++i) absent.push_back((1ULL << 40) + i);
+  const auto out = find_batch(t, absent);  // must not throw
+  for (const auto& v : out) ASSERT_TRUE(int_entry<>::is_empty(v));
+  EXPECT_NO_THROW(erase_batch(t, absent));
+  ASSERT_EQ(t.count(), second.size());
+  for (const auto k : second) ASSERT_TRUE(t.contains(k));
 }
 
 // --- phase checking still observes pipelined traffic -----------------------

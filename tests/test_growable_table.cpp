@@ -6,6 +6,7 @@
 #include <set>
 
 #include "phch/core/growable_table.h"
+#include "phch/core/table_concepts.h"
 #include "table_test_util.h"
 
 namespace phch {
@@ -71,6 +72,53 @@ TEST(GrowableTable, DeterministicAcrossGrowthPaths) {
   test::parallel_insert(b, keys);
   ASSERT_EQ(a.capacity(), b.capacity());
   EXPECT_EQ(a.elements(), b.elements());
+}
+
+// The wrapper implements whole-batch members the free batch functions
+// forward to, and its inner table must satisfy the growable_source contract.
+static_assert(batch_forwarding_table<gtable>);
+static_assert(growable_source<gtable::inner_table>);
+static_assert(phase_table<gtable>);
+
+TEST(GrowableTable, BatchInsertForcesMultipleGrowthsMidBatch) {
+  gtable t(64);
+  const auto keys = test::unique_keys(20000, 19);
+  insert_batch(t, keys);  // forwards to the wrapper's chunked member
+  const std::set<std::uint64_t> ref(keys.begin(), keys.end());
+  // 64 -> >= 32768 to hold 20000 keys under the 3/4 ceiling: many growths,
+  // all triggered between chunks of this one batch.
+  EXPECT_GE(t.growth_count(), 2u);
+  EXPECT_GE(t.capacity() - t.capacity() / 4, ref.size());
+  ASSERT_EQ(t.count(), ref.size());
+  EXPECT_EQ(t.approx_size(), ref.size());  // striped counter survives migration
+  const auto elems = t.elements();
+  const std::set<std::uint64_t> got(elems.begin(), elems.end());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(GrowableTable, BatchInsertLayoutEqualsFreshTableOfFinalCapacity) {
+  // Batched migration must preserve history independence exactly like the
+  // scalar path: the grown table's layout equals a one-shot build.
+  gtable grown(32);
+  const auto keys = test::dup_keys(9000, 6000, 23);
+  insert_batch(grown, keys);
+  ASSERT_GE(grown.growth_count(), 2u);
+  deterministic_table<int_entry<>> fixed(grown.capacity());
+  insert_batch(fixed, keys);
+  EXPECT_EQ(grown.elements(), fixed.elements());
+}
+
+TEST(GrowableTable, FindAndEraseBatchesForwardThroughWrapper) {
+  gtable t(128);
+  const auto keys = test::unique_keys(5000, 29);
+  insert_batch(t, keys);
+  const auto out = find_batch(t, keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) ASSERT_EQ(out[i], keys[i]);
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 2000);
+  erase_batch(t, dels);
+  EXPECT_EQ(t.count(), keys.size() - dels.size());
+  EXPECT_EQ(t.approx_size(), keys.size() - dels.size());
+  for (const auto d : dels) ASSERT_FALSE(t.contains(d));
 }
 
 TEST(GrowableTable, StressManyConcurrentGrowers) {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/phch must
+# compile standalone (its own includes are sufficient — no reliance on what
+# a particular .cpp happened to include first). Run from the repo root:
+#
+#   tools/check_headers.sh [compiler]
+#
+# Exits nonzero listing every header that fails.
+set -u
+
+cxx="${1:-${CXX:-g++}}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+failures=0
+checked=0
+
+while IFS= read -r header; do
+  checked=$((checked + 1))
+  if ! "$cxx" -std=c++20 -fsyntax-only -I"$root/src" -x c++ "$header" 2>/tmp/hdr_err.$$; then
+    echo "NOT SELF-CONTAINED: ${header#"$root"/}"
+    sed 's/^/    /' </tmp/hdr_err.$$ | head -15
+    failures=$((failures + 1))
+  fi
+done < <(find "$root/src/phch" -name '*.h' | sort)
+
+rm -f /tmp/hdr_err.$$
+echo "checked $checked headers, $failures failure(s)"
+[ "$failures" -eq 0 ]
