@@ -3,12 +3,22 @@
 //
 // Shape (paper, 40h): linearHash-D within 0-23% of linearHash-ND; both
 // clearly faster than cuckooHash; chainedHash-CR slowest.
+//
+// Writes BENCH_dedup.json (or argv[1]) with the measured seconds and, per
+// panel, the obs counter deltas the runs generated — all zeros unless the
+// build has PHCH_TELEMETRY=ON and recording is enabled (PHCH_TELEMETRY=1
+// in the environment).
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
 #include "phch/apps/remove_duplicates.h"
 #include "phch/core/chained_table.h"
 #include "phch/core/cuckoo_table.h"
 #include "phch/core/deterministic_table.h"
 #include "phch/core/nd_linear_table.h"
+#include "phch/obs/export.h"
+#include "phch/obs/telemetry.h"
 #include "phch/workloads/sequences.h"
 #include "phch/workloads/trigram.h"
 
@@ -17,35 +27,49 @@ using namespace phch::bench;
 
 namespace {
 
+struct panel_result {
+  std::string name;
+  double d = 0, nd = 0, ck = 0, ch = 0;  // seconds
+  obs::metrics_snapshot counters;        // obs delta across the panel
+};
+
+std::vector<panel_result> results;
+
 // Paper (40h) seconds: {linearHash-D, linearHash-ND, cuckoo, chained-CR}.
 template <typename Traits, typename V>
 void panel(const char* name, const std::vector<V>& input, const double paper[4]) {
   // Paper: table size 2^27 for n = 1e8, i.e. ~1.3n.
   const std::size_t cap = round_up_pow2(input.size() + input.size() / 3);
   print_header(name, input.size());
-  const double d = time_median([] {}, [&] {
+  panel_result r;
+  r.name = name;
+  const obs::metrics_snapshot before = obs::snapshot();
+  r.d = time_median([] {}, [&] {
     apps::remove_duplicates<deterministic_table<Traits>>(input, cap);
   });
-  const double nd = time_median([] {}, [&] {
+  r.nd = time_median([] {}, [&] {
     apps::remove_duplicates<nd_linear_table<Traits>>(input, cap);
   });
-  const double ck = time_median([] {}, [&] {
+  r.ck = time_median([] {}, [&] {
     apps::remove_duplicates<cuckoo_table<Traits>>(input, 2 * cap);
   });
-  const double ch = time_median([] {}, [&] {
+  r.ch = time_median([] {}, [&] {
     apps::remove_duplicates<chained_table<Traits, true>>(input, cap);
   });
-  print_row_vs("linearHash-D", d, paper[0]);
-  print_row_vs("linearHash-ND", nd, paper[1]);
-  print_row_vs("cuckooHash", ck, paper[2]);
-  print_row_vs("chainedHash-CR", ch, paper[3]);
-  print_ratio("linearHash-D / linearHash-ND", d / nd, paper[0] / paper[1]);
-  print_ratio("cuckooHash / linearHash-D", ck / d, paper[2] / paper[0]);
+  r.counters = obs::snapshot() - before;
+  print_row_vs("linearHash-D", r.d, paper[0]);
+  print_row_vs("linearHash-ND", r.nd, paper[1]);
+  print_row_vs("cuckooHash", r.ck, paper[2]);
+  print_row_vs("chainedHash-CR", r.ch, paper[3]);
+  print_ratio("linearHash-D / linearHash-ND", r.d / r.nd, paper[0] / paper[1]);
+  print_ratio("cuckooHash / linearHash-D", r.ck / r.d, paper[2] / paper[0]);
+  results.push_back(std::move(r));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_dedup.json";
   const std::size_t n = scaled_size(1000000);
   std::printf("Table 3: remove duplicates (paper: n = 1e8, 40h)\n");
   {
@@ -61,5 +85,28 @@ int main() {
     const double paper[4] = {0.139, 0.116, 0.185, 0.541};
     panel<int_entry<>>("exptSeq-int", workloads::expt_int_seq(n, 1), paper);
   }
+
+  FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"table3_dedup\",\n  \"n\": %zu,\n", n);
+  std::fprintf(f, "  \"telemetry_compiled\": %s,\n  \"panels\": [",
+               obs::compiled ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\",\n"
+                 "     \"linearHash_D_s\": %.4f, \"linearHash_ND_s\": %.4f,\n"
+                 "     \"cuckoo_s\": %.4f, \"chained_CR_s\": %.4f,\n"
+                 "     \"counters\": ",
+                 i == 0 ? "" : ",", r.name.c_str(), r.d, r.nd, r.ck, r.ch);
+    obs::write_counters_json(f, r.counters, "     ");
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
   return 0;
 }

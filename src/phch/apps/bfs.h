@@ -22,6 +22,7 @@
 #include "phch/core/table_common.h"
 #include "phch/core/table_concepts.h"
 #include "phch/graph/graph.h"
+#include "phch/obs/trace.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/primitives.h"
 
@@ -132,7 +133,15 @@ std::vector<std::int64_t> hash_bfs(const graph::csr_graph& g, graph::vertex_id r
   std::vector<std::int64_t> parents(g.num_vertices(), kNotReached);
   parents[root] = encode_visited(root);
   std::vector<graph::vertex_id> frontier{root};
+  obs::mark("bfs/start");
+  std::uint32_t level = 0;
   while (!frontier.empty()) {
+    // One span per BFS level: a = level number, b = frontier size. The
+    // per-level table create/insert/elements cycle shows up as the span's
+    // children in a chrome trace.
+    obs::span level_span("bfs:level");
+    level_span.a = level++;
+    level_span.b = frontier.size();
     std::vector<std::size_t> offsets = tabulate(
         frontier.size(), [&](std::size_t i) { return g.degree(frontier[i]); });
     const std::size_t total_degree = scan_add_inplace(offsets);
@@ -152,6 +161,7 @@ std::vector<std::int64_t> hash_bfs(const graph::csr_graph& g, graph::vertex_id r
       parents[w] = encode_visited(parents[w]);
     });
   }
+  obs::mark("bfs/done");
   return parents;
 }
 

@@ -49,6 +49,7 @@
 
 #include "phch/core/table_common.h"
 #include "phch/core/table_concepts.h"
+#include "phch/obs/telemetry.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/parallel_for.h"
 #include "phch/utils/env.h"
@@ -131,6 +132,8 @@ void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
   std::array<op, kMaxBatchWidth> ring;
   std::size_t issued = 0;
   std::size_t live = 0;
+  // Local tallies flushed once per block (dead stores when obs is off).
+  std::uint64_t t_slots = 0, t_rot = 0, t_hits = 0;
 
   auto start = [&](op& o) {
     const std::size_t idx = issued++;
@@ -149,10 +152,16 @@ void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
     // Scan to the end of the current cache line; those slots are resident.
     do {
       const value_type c = atomic_load(&slots[o.slot]);
+      ++t_slots;
       const probe_verdict verdict = Table::classify_find(c, o.kq);
       if (verdict != probe_verdict::advance) {
         done = true;
-        result = verdict == probe_verdict::hit ? c : Traits::empty();
+        if (verdict == probe_verdict::hit) {
+          result = c;
+          ++t_hits;
+        } else {
+          result = Traits::empty();
+        }
         break;
       }
       o.slot = (o.slot + 1) & mask;
@@ -178,8 +187,14 @@ void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
     } else {
       detail::prefetch_ro(&slots[o.slot]);  // crossed into the next line
     }
+    ++t_rot;
     if (++r >= live) r = 0;
   }
+  obs::count(obs::counter::find_ops, n);
+  obs::count(obs::counter::find_hits, t_hits);
+  obs::count(obs::counter::batch_probe_slots, t_slots);
+  obs::count(obs::counter::batch_rotations, t_rot);
+  obs::count(obs::counter::batch_blocks);
 }
 
 template <typename Table, typename V>
@@ -201,6 +216,7 @@ void insert_block_pipelined(Table& t, const V* values, std::size_t n,
   std::array<op, kMaxBatchWidth> ring;
   std::size_t issued = 0;
   std::size_t live = 0;
+  std::uint64_t t_slots = 0, t_rot = 0, t_handoffs = 0;
 
   auto start = [&](op& o) {
     const value_type v = values[issued++];
@@ -224,6 +240,7 @@ void insert_block_pipelined(Table& t, const V* values, std::size_t n,
     bool commit = false;
     do {
       const value_type c = atomic_load(&slots[o.slot]);
+      ++t_slots;
       if (Table::insert_scan_stop(c, o.v)) {
         commit = true;
         break;
@@ -232,6 +249,7 @@ void insert_block_pipelined(Table& t, const V* values, std::size_t n,
       if (++o.advances > cap) throw table_full_error();
     } while (o.slot & (line - 1));
     if (commit) {
+      ++t_handoffs;
       t.insert_from(o.v, o.slot, o.advances);
       if (issued < n) {
         start(o);
@@ -243,8 +261,13 @@ void insert_block_pipelined(Table& t, const V* values, std::size_t n,
     } else {
       detail::prefetch_rw(&slots[o.slot]);
     }
+    ++t_rot;
     if (++r >= live) r = 0;
   }
+  obs::count(obs::counter::batch_probe_slots, t_slots);
+  obs::count(obs::counter::batch_rotations, t_rot);
+  obs::count(obs::counter::batch_handoffs, t_handoffs);
+  obs::count(obs::counter::batch_blocks);
 }
 
 template <typename Table, typename K>
@@ -266,6 +289,7 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
   std::array<op, kMaxBatchWidth> ring;
   std::size_t issued = 0;
   std::size_t live = 0;
+  std::uint64_t t_slots = 0, t_rot = 0, t_handoffs = 0, t_dropped = 0;
 
   auto start = [&](op& o) {
     const typename Table::key_type kq = keys[issued++];
@@ -288,6 +312,7 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
     bool drop = false;  // bounded probe wrapped the table: key is absent
     do {
       const value_type c = atomic_load(&slots[o.slot]);
+      ++t_slots;
       if (Table::erase_scan_stop(c, o.kq)) {
         stop = true;
         break;
@@ -303,7 +328,14 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
       }
     } while (o.slot & (line - 1));
     if (stop || drop) {
-      if (stop) t.erase_from(o.kq, o.advances);
+      if (stop) {
+        ++t_handoffs;
+        t.erase_from(o.kq, o.advances);
+      } else {
+        // The scalar continuation never runs for a wrapped probe, so the
+        // dropped key's erase_ops tick is accounted here.
+        ++t_dropped;
+      }
       if (issued < n) {
         start(o);
       } else {
@@ -314,8 +346,14 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
     } else {
       detail::prefetch_rw(&slots[o.slot]);
     }
+    ++t_rot;
     if (++r >= live) r = 0;
   }
+  obs::count(obs::counter::erase_ops, t_dropped);
+  obs::count(obs::counter::batch_probe_slots, t_slots);
+  obs::count(obs::counter::batch_rotations, t_rot);
+  obs::count(obs::counter::batch_handoffs, t_handoffs);
+  obs::count(obs::counter::batch_blocks);
 }
 
 }  // namespace batch_detail

@@ -38,6 +38,7 @@
 #include "phch/core/batch_ops.h"
 #include "phch/core/deterministic_table.h"
 #include "phch/core/table_concepts.h"
+#include "phch/obs/trace.h"
 #include "phch/parallel/spinlock.h"  // cpu_relax
 
 namespace phch {
@@ -188,6 +189,7 @@ class growable_table {
   void grow(std::size_t target_capacity) {
     std::lock_guard<std::mutex> lg(grow_lock_);
     if (table_->capacity() >= target_capacity) return;  // someone else grew it
+    obs::span sp("grow");
     resizing_.store(true, std::memory_order_release);
     // Drain in-flight inserts on the old table.
     while (active_.load(std::memory_order_acquire) != 0) cpu_relax();
@@ -200,6 +202,11 @@ class growable_table {
     // observable.
     std::vector<value_type> live = table_->elements();
     insert_batch_range(*fresh, live.data(), live.size());
+    obs::count(obs::counter::growths);
+    obs::count(obs::counter::migrated_elements, live.size());
+    sp.a = static_cast<std::uint32_t>(
+        live.size() < 0xffffffffu ? live.size() : 0xffffffffu);
+    sp.b = target_capacity;
     table_ = std::move(fresh);
     growths_.fetch_add(1, std::memory_order_relaxed);
     resizing_.store(false, std::memory_order_release);

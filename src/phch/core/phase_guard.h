@@ -5,9 +5,15 @@
 //     S = { {insert}, {delete}, {find, elements} }.
 // Tables take a Phase policy parameter and hold one instance of it.
 // `unchecked_phases` (the default) compiles to nothing, as in the paper's
-// benchmarked code. `checked_phases` maintains per-table in-flight counters
-// per operation class and aborts the process on an illegal overlap — used by
-// the test suite to prove the applications obey the discipline.
+// benchmarked code — except under PHCH_TELEMETRY, where both policies also
+// feed the obs phase-epoch tracer: the first operation of a class different
+// from the table's last-seen class records one phase-transition event
+// (obs/trace.h). `checked_phases` maintains per-table in-flight counters
+// per operation class and, on an illegal overlap, routes a structured
+// phase_violation report through a pluggable process-wide handler. The
+// default handler prints the report and aborts (so the test suite can still
+// death-test the discipline); tests install their own handler to intercept
+// violations in-process.
 #pragma once
 
 #include <atomic>
@@ -15,14 +21,80 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "phch/obs/trace.h"
+#include "phch/parallel/scheduler.h"
+
 namespace phch {
 
 enum class op_kind : std::uint8_t { insert = 0, erase = 1, query = 2 };
 
+inline const char* op_kind_name(op_kind k) noexcept {
+  switch (k) {
+    case op_kind::insert: return "insert";
+    case op_kind::erase: return "erase";
+    case op_kind::query: return "query";
+  }
+  return "?";
+}
+
+// Everything known about a phase-discipline violation at detection time:
+// which table (address, plus its debug name if one was set), what operation
+// class tried to start, how many operations of each class were in flight,
+// and which scheduler worker tripped it (-1 for non-pool threads).
+struct phase_violation {
+  const void* table = nullptr;
+  const char* table_name = nullptr;  // may be null (unnamed table)
+  op_kind attempted = op_kind::insert;
+  std::uint64_t in_flight[3] = {0, 0, 0};  // indexed by op_kind
+  int worker = -1;
+};
+
+using phase_violation_handler = void (*)(const phase_violation&);
+
+// Default handler: structured report to stderr, then abort. The message
+// keeps the "phase-concurrency violation" marker the death tests match.
+inline void abort_on_phase_violation(const phase_violation& v) {
+  std::fprintf(stderr,
+               "phch: phase-concurrency violation: %s started on table %s(%p) "
+               "with in-flight ops {insert: %llu, erase: %llu, query: %llu} "
+               "(worker %d)\n",
+               op_kind_name(v.attempted),
+               v.table_name != nullptr ? v.table_name : "", v.table,
+               static_cast<unsigned long long>(v.in_flight[0]),
+               static_cast<unsigned long long>(v.in_flight[1]),
+               static_cast<unsigned long long>(v.in_flight[2]), v.worker);
+  std::abort();
+}
+
+namespace detail {
+inline std::atomic<phase_violation_handler> g_phase_violation_handler{
+    &abort_on_phase_violation};
+}
+
+// Installs `h` as the process-wide violation handler and returns the
+// previous one. Pass nullptr to restore the aborting default. A handler
+// that returns normally lets the offending operation proceed (the overlap
+// has already been recorded); intercepting tests typically count or stash
+// the report.
+inline phase_violation_handler set_phase_violation_handler(
+    phase_violation_handler h) noexcept {
+  return detail::g_phase_violation_handler.exchange(
+      h != nullptr ? h : &abort_on_phase_violation, std::memory_order_acq_rel);
+}
+
 struct unchecked_phases {
   struct scope {
+#if PHCH_TELEMETRY_ENABLED
+    scope(unchecked_phases& owner, op_kind kind) noexcept {
+      obs::note_phase(owner.epoch_, static_cast<std::uint8_t>(kind));
+    }
+#else
     scope(unchecked_phases&, op_kind) noexcept {}
+#endif
   };
+#if PHCH_TELEMETRY_ENABLED
+  obs::phase_epoch epoch_;
+#endif
 };
 
 class checked_phases {
@@ -30,17 +102,17 @@ class checked_phases {
   class scope {
    public:
     scope(checked_phases& owner, op_kind kind) noexcept : owner_(owner), kind_(kind) {
+#if PHCH_TELEMETRY_ENABLED
+      obs::note_phase(owner_.epoch_, static_cast<std::uint8_t>(kind));
+#endif
       const std::uint64_t prev =
           owner_.in_flight_.fetch_add(delta(kind_), std::memory_order_acq_rel);
       // Each op class owns 21 bits of the counter; any other class having a
       // non-zero count means ops of different types overlapped in time.
       for (int k = 0; k < 3; ++k) {
         if (k != static_cast<int>(kind_) && ((prev >> (21 * k)) & mask21) != 0) {
-          std::fprintf(stderr,
-                       "phch: phase-concurrency violation: op class %d started while "
-                       "class %d in flight\n",
-                       static_cast<int>(kind_), k);
-          std::abort();
+          owner_.report_violation(kind_, prev);
+          break;
         }
       }
     }
@@ -53,12 +125,31 @@ class checked_phases {
     op_kind kind_;
   };
 
+  // Optional debug name included in violation reports. The pointed-to
+  // string must outlive the table (string literals in practice).
+  void set_name(const char* name) noexcept { name_ = name; }
+  const char* name() const noexcept { return name_; }
+
  private:
+  void report_violation(op_kind attempted, std::uint64_t prev) const {
+    phase_violation v;
+    v.table = this;
+    v.table_name = name_;
+    v.attempted = attempted;
+    for (int k = 0; k < 3; ++k) v.in_flight[k] = (prev >> (21 * k)) & mask21;
+    v.worker = scheduler::worker_id();
+    detail::g_phase_violation_handler.load(std::memory_order_acquire)(v);
+  }
+
   static constexpr std::uint64_t mask21 = (1ULL << 21) - 1;
   static std::uint64_t delta(op_kind k) noexcept {
     return 1ULL << (21 * static_cast<int>(k));
   }
   std::atomic<std::uint64_t> in_flight_{0};
+  const char* name_ = nullptr;
+#if PHCH_TELEMETRY_ENABLED
+  obs::phase_epoch epoch_;
+#endif
 };
 
 }  // namespace phch

@@ -47,6 +47,7 @@
 #include "phch/core/entry_traits.h"
 #include "phch/core/phase_guard.h"
 #include "phch/core/table_common.h"
+#include "phch/obs/telemetry.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/striped_counter.h"
 
@@ -234,59 +235,80 @@ class probe_engine {
   }
 
  private:
+  // CAS with telemetry accounting; identical to phch::cas when obs is off.
+  static bool cas_tallied(obs::probe_tally& t, value_type* p, value_type expect,
+                          value_type desired) noexcept {
+    ++t.cas;
+    if (cas(p, expect, desired)) return true;
+    ++t.cas_failed;
+    return false;
+  }
+
   insert_result insert_impl(value_type v, std::size_t probe_limit, std::size_t i,
                             std::size_t advances) {
     typename Phase::scope guard(phase_, op_kind::insert);
     assert(!Traits::is_empty(v));
+    obs::count(obs::counter::insert_ops);
+    obs::probe_tally tally;
     const std::size_t cap = capacity();
     bool committed = false;
     for (;;) {
       const value_type c = atomic_load(&slots_[i]);
+      ++tally.slots;
       if (is_present(c) && Traits::key_equal(Traits::key(c), Traits::key(v))) {
         // Duplicate key: merge values per the traits' combine function.
         if constexpr (!Traits::has_combine) {
+          obs::count(obs::counter::insert_dups);
           return finish(advances, probe_limit);  // key already present
         } else if constexpr (Order::ordered_probes) {
           // Whole-slot CAS merge; a failed CAS means another insert changed
           // the slot — re-examine it (it may no longer hold this key).
           const value_type merged = Traits::combine(c, v);
-          if (bits_equal(merged, c)) return finish(advances, probe_limit);
-          if (cas(&slots_[i], c, merged)) return finish(advances, probe_limit);
+          if (bits_equal(merged, c) || cas_tallied(tally, &slots_[i], c, merged)) {
+            obs::count(obs::counter::insert_dups);
+            return finish(advances, probe_limit);
+          }
           continue;
         } else if constexpr (Delete::uses_tombstones) {
           value_type cur = c;
           bool merged_in = false;
           for (;;) {
             const value_type merged = Traits::combine(cur, v);
-            if (bits_equal(merged, cur) || cas(&slots_[i], cur, merged)) {
+            if (bits_equal(merged, cur) || cas_tallied(tally, &slots_[i], cur, merged)) {
               merged_in = true;
               break;
             }
             cur = atomic_load(&slots_[i]);
             if (is_tombstone(cur)) break;  // deleted meanwhile; keep probing
           }
-          if (merged_in) return finish(advances, probe_limit);
+          if (merged_in) {
+            obs::count(obs::counter::insert_dups);
+            return finish(advances, probe_limit);
+          }
           // fall through: advance past the tombstone
         } else {
           // Arrival order with back-shift: a stored entry never moves during
           // an insert phase, so only the value word is merged (in place).
-          combine_slot(&slots_[i], c, v);
+          combine_slot(tally, &slots_[i], c, v);
+          obs::count(obs::counter::insert_dups);
           return finish(advances, probe_limit);
         }
       } else if (!insert_scan_stop(c, v)) {
         // The occupant keeps the slot; advance (below).
-      } else if (cas(&slots_[i], c, v)) {
+      } else if (cas_tallied(tally, &slots_[i], c, v)) {
         if constexpr (Order::ordered_probes) {
           // The displaced (strictly lower priority) element, possibly ⊥, is
           // now this operation's responsibility.
           committed = true;
           if (Traits::is_empty(c)) {
             occupied_.increment();
+            obs::count(obs::counter::insert_commits);
             return finish(advances, probe_limit);
           }
           v = c;  // carry the displaced element onward (advance below)
         } else {
           occupied_.increment();
+          obs::count(obs::counter::insert_commits);
           return finish(advances, probe_limit);
         }
       } else {
@@ -294,7 +316,10 @@ class probe_engine {
       }
       i = next(i);
       if (++advances > cap) throw table_full_error();
-      if (!committed && advances > probe_limit) return insert_result::aborted;
+      if (!committed && advances > probe_limit) {
+        obs::count(obs::counter::insert_aborts);
+        return insert_result::aborted;
+      }
     }
   }
 
@@ -311,21 +336,24 @@ class probe_engine {
   // Tombstone: marks the entry's slot with Traits::busy().
   void erase(key_type kq) {
     typename Phase::scope guard(phase_, op_kind::erase);
+    obs::count(obs::counter::erase_ops);
     if constexpr (Delete::uses_tombstones) {
       tombstone_erase(kq, home(kq), 0);
     } else {
       const std::size_t cap = capacity();
+      obs::probe_tally tally;
       // Unwrapped coordinates, offset by one capacity so they never
       // underflow. Initial forward scan (lines 27-29): past every slot the
       // ordering policy says could still precede the key.
       const std::uint64_t i = cap + home(kq);
       std::uint64_t k = i;
       for (;;) {
+        ++tally.slots;
         if (erase_scan_stop(atomic_load(slot(k)), kq)) break;
         ++k;
         if (k - i > cap) throw table_full_error();
       }
-      erase_downward(kq, i, k);
+      erase_downward(tally, kq, i, k);
     }
   }
 
@@ -336,24 +364,31 @@ class probe_engine {
   // a stale pipelined read only costs a few extra probes).
   void erase_from(key_type kq, std::size_t fwd_advances) {
     typename Phase::scope guard(phase_, op_kind::erase);
+    obs::count(obs::counter::erase_ops);
     if constexpr (Delete::uses_tombstones) {
       tombstone_erase(kq, (home(kq) + fwd_advances) & slots_.mask(), fwd_advances);
     } else {
+      obs::probe_tally tally;
       const std::uint64_t i = capacity() + home(kq);
-      erase_downward(kq, i, i + fwd_advances);
+      erase_downward(tally, kq, i, i + fwd_advances);
     }
   }
 
  private:
   void tombstone_erase(key_type kq, std::size_t i, std::size_t advances) {
     const std::size_t cap = capacity();
+    obs::probe_tally tally;
     for (;;) {
       const value_type c = atomic_load(&slots_[i]);
+      ++tally.slots;
       if (Traits::is_empty(c)) return;  // not present
       if (is_present(c) && Traits::key_equal(Traits::key(c), kq)) {
         // Replace with the tombstone; a failed CAS means a concurrent erase
         // got it first (same result).
-        if (cas(&slots_[i], c, Traits::busy())) occupied_.decrement();
+        if (cas_tallied(tally, &slots_[i], c, Traits::busy())) {
+          occupied_.decrement();
+          obs::count(obs::counter::erase_hits);
+        }
         return;
       }
       i = next(i);
@@ -363,15 +398,17 @@ class probe_engine {
 
   // Downward scan (lines 30-41), from unwrapped position k down to the
   // query key's unwrapped home i.
-  void erase_downward(key_type kq, std::uint64_t i, std::uint64_t k) {
+  void erase_downward(obs::probe_tally& tally, key_type kq, std::uint64_t i,
+                      std::uint64_t k) {
     while (k >= i) {
       const value_type c = atomic_load(slot(k));
+      ++tally.slots;
       if (Traits::is_empty(c) || !Traits::key_equal(Traits::key(c), kq)) {
         --k;
         continue;
       }
-      const auto [j, w] = find_replacement(k);
-      if (cas(slot(k), c, w)) {
+      const auto [j, w] = find_replacement(tally, k);
+      if (cas_tallied(tally, slot(k), c, w)) {
         if (!Traits::is_empty(w)) {
           // A second copy of w now exists; this operation becomes an
           // outstanding delete for w (lines 36-39).
@@ -380,6 +417,7 @@ class probe_engine {
           i = unwrapped_home(w, j);
         } else {
           occupied_.decrement();
+          obs::count(obs::counter::erase_hits);
           return;
         }
       } else {
@@ -398,15 +436,19 @@ class probe_engine {
   // linear probing.
   value_type find(key_type kq) const {
     typename Phase::scope guard(phase_, op_kind::query);
+    obs::count(obs::counter::find_ops);
+    obs::probe_tally tally;
     const std::size_t cap = capacity();
     std::size_t i = home(kq);
     std::size_t advances = 0;
     for (;;) {
       const value_type c = atomic_load(&slots_[i]);
+      ++tally.slots;
       switch (classify_find(c, kq)) {
         case probe_verdict::miss:
           return Traits::empty();
         case probe_verdict::hit:
+          obs::count(obs::counter::find_hits);
           return c;
         case probe_verdict::advance:
           break;
@@ -497,7 +539,8 @@ class probe_engine {
   // concurrent deletes only move elements toward lower positions. The
   // replacement choice depends only on hash homes, never priorities, which
   // is why both ordering policies share it.
-  std::pair<std::uint64_t, value_type> find_replacement(std::uint64_t k) const {
+  std::pair<std::uint64_t, value_type> find_replacement(obs::probe_tally& tally,
+                                                        std::uint64_t k) const {
     const std::size_t cap = capacity();
     std::uint64_t j = k;
     value_type w;
@@ -505,9 +548,11 @@ class probe_engine {
       ++j;
       if (j - k > cap) throw table_full_error();
       w = atomic_load(slot(j));
+      ++tally.slots;
     } while (!Traits::is_empty(w) && unwrapped_home(w, j) > k);
     for (std::uint64_t m = j - 1; m > k; --m) {
       const value_type w2 = atomic_load(slot(m));
+      ++tally.slots;
       if (Traits::is_empty(w2) || unwrapped_home(w2, m) <= k) {
         w = w2;
         j = m;
@@ -519,14 +564,15 @@ class probe_engine {
   // In-place duplicate-key merge for arrival order: only the value word
   // changes, with hardware xadd when the combine function is + (the paper's
   // linearHash-ND optimization for edge contraction).
-  static void combine_slot(value_type* p, value_type seen, value_type incoming) noexcept {
+  static void combine_slot(obs::probe_tally& tally, value_type* p, value_type seen,
+                           value_type incoming) noexcept {
     if constexpr (requires { Traits::combine_inplace(p, incoming); }) {
       Traits::combine_inplace(p, incoming);
     } else {
       value_type cur = seen;
       for (;;) {
         const value_type merged = Traits::combine(cur, incoming);
-        if (bits_equal(merged, cur) || cas(p, cur, merged)) return;
+        if (bits_equal(merged, cur) || cas_tallied(tally, p, cur, merged)) return;
         cur = atomic_load(p);
       }
     }

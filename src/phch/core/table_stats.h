@@ -27,6 +27,12 @@ struct probe_stats {
 template <typename Traits>
 probe_stats analyze_slots(const typename Traits::value_type* slots, std::size_t capacity) {
   probe_stats st;
+  // A zero-capacity array has no slots to scan, and a fully-empty one has
+  // no probe sequences or clusters: both are all-zero stats. The early
+  // return also keeps the cluster scan below from reading past a
+  // zero-length array (capacity - 1 underflows) or spinning looking for an
+  // empty slot that the occupancy checks would otherwise rule out.
+  if (capacity == 0) return st;
   const std::size_t mask = capacity - 1;
 
   // Probe length of each stored element: distance from home to slot + 1.
@@ -38,7 +44,8 @@ probe_stats analyze_slots(const typename Traits::value_type* slots, std::size_t 
         return ((j - home) & mask) + 1;
       });
   st.occupied = probes.size();
-  if (st.occupied > 0) {
+  if (st.occupied == 0) return st;  // empty table: all statistics are zero
+  {
     std::size_t total = 0;
     for (const std::size_t p : probes) {
       total += p;

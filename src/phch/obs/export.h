@@ -1,0 +1,120 @@
+// Telemetry exporters: JSON metrics snapshots and chrome://tracing files.
+//
+//  * write_metrics_json(path)  — counter totals, marks (with per-phase
+//    counter deltas between consecutive marks), and trace bookkeeping, as a
+//    single JSON object. The `table_stats`-style programmatic equivalents
+//    are obs::snapshot() / obs::marks() / obs::drain_trace().
+//  * write_chrome_trace(path)  — the drained event rings in the Trace Event
+//    Format consumed by chrome://tracing and https://ui.perfetto.dev:
+//    phase transitions as instant events, spans as complete ("X") events,
+//    marks as instant events; tid = telemetry stripe (worker id).
+//
+// Both return false (and write nothing useful) when telemetry is compiled
+// out or produced no data; callers typically gate on obs::enabled().
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+
+#include "phch/obs/telemetry.h"
+#include "phch/obs/trace.h"
+
+namespace phch::obs {
+
+// Emits {"name": value, ...} for every counter in `m` to `f` at the given
+// indentation. Shared with benches that embed a snapshot in their own JSON.
+inline void write_counters_json(std::FILE* f, const metrics_snapshot& m,
+                                const char* indent) {
+  std::fprintf(f, "{");
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    std::fprintf(f, "%s\n%s  \"%s\": %" PRIu64, i == 0 ? "" : ",", indent,
+                 counter_name(static_cast<counter>(i)), m.totals[i]);
+  }
+  std::fprintf(f, "\n%s}", indent);
+}
+
+#if PHCH_TELEMETRY_ENABLED
+
+namespace detail {
+// Minimal string escaping for the labels we emit (static names and mark
+// labels under caller control).
+inline void write_escaped(std::FILE* f, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') std::fputc('\\', f);
+    std::fputc(*s, f);
+  }
+}
+}  // namespace detail
+
+inline bool write_metrics_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const metrics_snapshot now = snapshot();
+  std::fprintf(f, "{\n  \"telemetry\": true,\n  \"stripes\": %zu,\n", kStripes);
+  std::fprintf(f, "  \"counters\": ");
+  write_counters_json(f, now, "  ");
+  const auto ms = marks();
+  std::fprintf(f, ",\n  \"marks\": [");
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    std::fprintf(f, "%s\n    {\"label\": \"", i == 0 ? "" : ",");
+    detail::write_escaped(f, ms[i].label.c_str());
+    std::fprintf(f, "\", \"ts_ns\": %" PRIu64 ",\n     \"counters\": ", ms[i].ts_ns);
+    write_counters_json(f, ms[i].counters, "     ");
+    // Delta since the previous mark: the per-phase counter sums.
+    std::fprintf(f, ",\n     \"delta\": ");
+    write_counters_json(
+        f, i == 0 ? ms[i].counters : ms[i].counters - ms[i - 1].counters, "     ");
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+inline bool write_chrome_trace(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const drained_trace tr = drain_trace();
+  std::fprintf(f, "{\"displayTimeUnit\": \"ns\",\n \"droppedEvents\": %" PRIu64
+                  ",\n \"traceEvents\": [\n",
+               tr.dropped);
+  bool first = true;
+  // Name the "threads" (stripes) once so the viewer shows worker ids.
+  for (const trace_event& e : tr.events) {
+    const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+    std::fprintf(f, "%s  {\"name\": \"", first ? "" : ",\n");
+    first = false;
+    detail::write_escaped(f, e.name);
+    std::fprintf(f, "\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f", e.worker, ts_us);
+    switch (e.kind) {
+      case event_kind::span:
+        std::fprintf(f, ", \"ph\": \"X\", \"dur\": %.3f",
+                     static_cast<double>(e.dur_ns) / 1000.0);
+        std::fprintf(f, ", \"args\": {\"a\": %u, \"b\": %" PRIu64 "}", e.a, e.b);
+        break;
+      case event_kind::phase_begin:
+        std::fprintf(f, ", \"ph\": \"i\", \"s\": \"p\"");
+        std::fprintf(f, ", \"args\": {\"op_class\": %u, \"table\": %" PRIu64 "}",
+                     e.a, e.b);
+        break;
+      case event_kind::mark:
+        std::fprintf(f, ", \"ph\": \"i\", \"s\": \"g\"");
+        std::fprintf(f, ", \"args\": {\"mark\": %" PRIu64 "}", e.b);
+        break;
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+#else  // !PHCH_TELEMETRY_ENABLED
+
+inline bool write_metrics_json(const char*) { return false; }
+inline bool write_chrome_trace(const char*) { return false; }
+
+#endif  // PHCH_TELEMETRY_ENABLED
+
+}  // namespace phch::obs

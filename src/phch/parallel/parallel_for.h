@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "phch/obs/trace.h"
 #include "phch/parallel/scheduler.h"
 
 namespace phch {
@@ -53,6 +54,14 @@ void parallel_for(std::size_t lo, std::size_t hi, F&& f, std::size_t grain = 0) 
   if (grain < 1) grain = 1;
   if (p == 1 || n <= grain) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  if (!scheduler::in_parallel()) {
+    // Root-level loop: record one fork-join span (nested loops ride inside
+    // their parent's span and would only flood the trace rings).
+    obs::span sp("parallel_for");
+    sp.b = n;
+    detail::parallel_for_rec(sched, lo, hi, f, grain);
     return;
   }
   detail::parallel_for_rec(sched, lo, hi, f, grain);

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "phch/obs/telemetry.h"
+#include "phch/obs/trace.h"
 #include "phch/parallel/spinlock.h"
 
 namespace phch {
@@ -63,6 +65,7 @@ void scheduler::start_workers() {
   // The calling thread is worker 0 of this generation.
   detail::tl_worker = workers_[0].get();
   detail::tl_worker_gen = generation_;
+  obs::bind_worker(0);
   threads_.reserve(static_cast<std::size_t>(num_workers_ - 1));
   for (int id = 1; id < num_workers_; ++id) {
     threads_.emplace_back([this, id] { worker_loop(id); });
@@ -97,6 +100,7 @@ void scheduler::worker_loop(int id) {
   detail::worker_state& self = *workers_[static_cast<std::size_t>(id)];
   detail::tl_worker = &self;
   detail::tl_worker_gen = generation_;
+  obs::bind_worker(id);
   int failures = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (detail::ws_task* t = try_steal(self)) {
@@ -111,6 +115,7 @@ void scheduler::worker_loop(int id) {
       // Deep idle: sleep until fork_join signals new work (or 1 ms passes —
       // the timeout bounds the cost of a missed notify, so signal_work can
       // stay lock-free on the push path).
+      obs::count(obs::counter::backoff_sleeps);
       std::unique_lock<std::mutex> lock(sleep_m_);
       num_sleeping_.fetch_add(1, std::memory_order_relaxed);
       sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
@@ -135,8 +140,12 @@ detail::ws_task* scheduler::try_steal(detail::worker_state& self) {
     int v = start + k;
     if (v >= p) v -= p;
     if (v == self.id) continue;
-    if (detail::ws_task* t = workers_[static_cast<std::size_t>(v)]->deque.steal()) return t;
+    if (detail::ws_task* t = workers_[static_cast<std::size_t>(v)]->deque.steal()) {
+      obs::count(obs::counter::steals);
+      return t;
+    }
   }
+  obs::count(obs::counter::steal_failures);
   return nullptr;
 }
 
@@ -167,6 +176,8 @@ void scheduler::broadcast_range(const std::function<void(int)>& f, int lo, int h
 }
 
 void scheduler::execute(const std::function<void(int)>& f) {
+  obs::span sp("execute");
+  sp.a = static_cast<std::uint32_t>(num_workers_);
   detail::depth_guard depth;
   broadcast_range(f, 0, num_workers_);
 }

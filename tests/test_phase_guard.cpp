@@ -3,6 +3,7 @@
 // when operations of different classes overlap in time.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 
 #include "phch/core/deterministic_table.h"
@@ -83,6 +84,47 @@ TEST(PhaseGuard, PhaseBoundaryResetsState) {
   { checked_phases::scope b(g, op_kind::erase); }
   { checked_phases::scope c(g, op_kind::query); }
   SUCCEED();
+}
+
+// A test-installed handler intercepts the structured report in-process; the
+// offending operation then proceeds (useful for counting violations in
+// fuzz-style tests without dying on the first one).
+namespace violation_capture {
+phase_violation last;
+int calls = 0;
+void capture(const phase_violation& v) {
+  last = v;
+  ++calls;
+}
+}  // namespace violation_capture
+
+TEST(PhaseGuard, PluggableHandlerReceivesStructuredReport) {
+  violation_capture::calls = 0;
+  phase_violation_handler prev = set_phase_violation_handler(&violation_capture::capture);
+  EXPECT_EQ(prev, &abort_on_phase_violation);
+  {
+    checked_phases g;
+    g.set_name("report-test");
+    checked_phases::scope query(g, op_kind::query);
+    checked_phases::scope insert(g, op_kind::insert);  // illegal overlap
+  }
+  set_phase_violation_handler(nullptr);  // restore the aborting default
+  ASSERT_EQ(violation_capture::calls, 1);
+  const phase_violation& v = violation_capture::last;
+  EXPECT_EQ(v.table_name, std::string("report-test"));
+  EXPECT_NE(v.table, nullptr);
+  EXPECT_EQ(v.attempted, op_kind::insert);
+  EXPECT_EQ(v.in_flight[static_cast<int>(op_kind::query)], 1u);
+  EXPECT_EQ(v.in_flight[static_cast<int>(op_kind::insert)], 0u);
+  EXPECT_EQ(v.in_flight[static_cast<int>(op_kind::erase)], 0u);
+  // Whatever this thread's scheduler identity is, the report carries it.
+  EXPECT_EQ(v.worker, scheduler::worker_id());
+}
+
+TEST(PhaseGuard, RestoringDefaultHandlerReturnsInstalledOne) {
+  phase_violation_handler prev = set_phase_violation_handler(&violation_capture::capture);
+  EXPECT_EQ(set_phase_violation_handler(nullptr), &violation_capture::capture);
+  (void)prev;
 }
 
 TEST(PhaseGuard, UncheckedPolicyCompilesToNothing) {

@@ -17,6 +17,32 @@ TEST(TableStats, EmptyTable) {
   EXPECT_EQ(st.mean_probe, 0.0);
 }
 
+TEST(TableStats, EmptyTableStatsAreAllZero) {
+  // Regression: every field, not just the three above — an empty table must
+  // never produce NaNs or leftovers from the cluster scan.
+  deterministic_table<int_entry<>> t(128);
+  const auto st = analyze(t);
+  EXPECT_EQ(st.occupied, 0u);
+  EXPECT_EQ(st.clusters, 0u);
+  EXPECT_EQ(st.max_probe, 0u);
+  EXPECT_EQ(st.max_cluster, 0u);
+  EXPECT_EQ(st.mean_probe, 0.0);
+  EXPECT_EQ(st.mean_cluster, 0.0);
+}
+
+TEST(TableStats, ZeroCapacityIsGuarded) {
+  // Regression: analyze_slots(ptr, 0) used to compute mask = SIZE_MAX and
+  // walk a zero-length array; it must instead return zeroed stats without
+  // touching the pointer.
+  const auto st = analyze_slots<int_entry<>>(nullptr, 0);
+  EXPECT_EQ(st.occupied, 0u);
+  EXPECT_EQ(st.clusters, 0u);
+  EXPECT_EQ(st.max_probe, 0u);
+  EXPECT_EQ(st.max_cluster, 0u);
+  EXPECT_EQ(st.mean_probe, 0.0);
+  EXPECT_EQ(st.mean_cluster, 0.0);
+}
+
 TEST(TableStats, SingleElement) {
   deterministic_table<int_entry<>> t(64);
   t.insert(42);

@@ -5,7 +5,11 @@
 #
 #   tools/check_headers.sh [compiler]
 #
-# Exits nonzero listing every header that fails.
+# Every header (including src/phch/obs/) is compiled twice: once with the
+# default configuration and once with -DPHCH_TELEMETRY=1, so both sides of
+# the telemetry compile-time gate stay self-contained.
+#
+# Exits nonzero listing every header/configuration that fails.
 set -u
 
 cxx="${1:-${CXX:-g++}}"
@@ -14,14 +18,18 @@ failures=0
 checked=0
 
 while IFS= read -r header; do
-  checked=$((checked + 1))
-  if ! "$cxx" -std=c++20 -fsyntax-only -I"$root/src" -x c++ "$header" 2>/tmp/hdr_err.$$; then
-    echo "NOT SELF-CONTAINED: ${header#"$root"/}"
-    sed 's/^/    /' </tmp/hdr_err.$$ | head -15
-    failures=$((failures + 1))
-  fi
+  for extra in "" "-DPHCH_TELEMETRY=1"; do
+    checked=$((checked + 1))
+    # shellcheck disable=SC2086  # $extra is intentionally word-split
+    if ! "$cxx" -std=c++20 -fsyntax-only -I"$root/src" $extra -x c++ "$header" \
+        2>/tmp/hdr_err.$$; then
+      echo "NOT SELF-CONTAINED${extra:+ ($extra)}: ${header#"$root"/}"
+      sed 's/^/    /' </tmp/hdr_err.$$ | head -15
+      failures=$((failures + 1))
+    fi
+  done
 done < <(find "$root/src/phch" -name '*.h' | sort)
 
 rm -f /tmp/hdr_err.$$
-echo "checked $checked headers, $failures failure(s)"
+echo "checked $checked header compilations, $failures failure(s)"
 [ "$failures" -eq 0 ]

@@ -1,0 +1,179 @@
+// phch_trace: run an instrumented workload with telemetry enabled, check
+// the counters against reference operation counts, and export the metrics
+// snapshot + chrome://tracing file.
+//
+//   ./phch_trace -workload dedup|bfs|mixed -n N [-threads P]
+//                [-metrics metrics.json] [-trace trace.json]
+//
+// Exit status: 0 on success, 1 if any counter identity or reference count
+// check fails, 2 if the binary was built without -DPHCH_TELEMETRY=ON.
+//
+// The checks are the telemetry layer's end-to-end contract: counter sums
+// taken at a quiescent point are *exact*, so
+//   dedup:  insert_ops == n, insert_commits == |output|,
+//           insert_dups == n - |output|
+//   bfs:    insert_commits == reached vertices - 1 (each non-root vertex
+//           committed by exactly one WRITEMIN winner)
+//   mixed:  find_ops/find_hits == lookups issued, erase_hits == n/2
+// and in every workload insert_ops == commits + dups + aborts.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "phch/apps/bfs.h"
+#include "phch/apps/remove_duplicates.h"
+#include "phch/core/batch_ops.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/table_common.h"
+#include "phch/graph/generators.h"
+#include "phch/graph/graph.h"
+#include "phch/obs/export.h"
+#include "phch/obs/telemetry.h"
+#include "phch/obs/trace.h"
+#include "phch/parallel/scheduler.h"
+#include "phch/utils/cmdline.h"
+#include "phch/utils/rand.h"
+#include "phch/workloads/sequences.h"
+
+using namespace phch;
+
+namespace {
+
+int failures = 0;
+
+void expect_eq(const char* what, std::uint64_t got, std::uint64_t want) {
+  if (got != want) {
+    std::fprintf(stderr, "phch_trace: FAIL %s: got %" PRIu64 ", want %" PRIu64 "\n",
+                 what, got, want);
+    ++failures;
+  } else {
+    std::printf("  ok  %-32s %" PRIu64 "\n", what, got);
+  }
+}
+
+void check_insert_identity(const obs::metrics_snapshot& d) {
+  expect_eq("insert_ops == commits+dups+aborts", d[obs::counter::insert_ops],
+            d[obs::counter::insert_commits] + d[obs::counter::insert_dups] +
+                d[obs::counter::insert_aborts]);
+}
+
+obs::metrics_snapshot run_dedup(std::size_t n) {
+  const auto seq = workloads::random_int_seq(n, 1);
+  const obs::metrics_snapshot before = obs::snapshot();
+  const auto out = apps::remove_duplicates<deterministic_table<int_entry<>>>(
+      seq, round_up_pow2(2 * n));
+  const obs::metrics_snapshot d = obs::snapshot() - before;
+  expect_eq("dedup insert_ops", d[obs::counter::insert_ops], n);
+  expect_eq("dedup insert_commits", d[obs::counter::insert_commits], out.size());
+  expect_eq("dedup insert_dups", d[obs::counter::insert_dups], n - out.size());
+  expect_eq("dedup erase_ops", d[obs::counter::erase_ops], 0);
+  expect_eq("dedup find_ops", d[obs::counter::find_ops], 0);
+  check_insert_identity(d);
+  return d;
+}
+
+obs::metrics_snapshot run_bfs(std::size_t n) {
+  const auto edges = graph::random_k_edges(n, 5, 1);
+  const auto g = graph::csr_graph::from_edges(n, edges);
+  const obs::metrics_snapshot before = obs::snapshot();
+  const auto parents =
+      apps::hash_bfs<deterministic_table<int_entry<std::uint32_t>>>(g, 0);
+  const obs::metrics_snapshot d = obs::snapshot() - before;
+  std::uint64_t reached = 0;
+  for (const auto p : parents) {
+    if (p != apps::kNotReached) ++reached;
+  }
+  // Every reached vertex except the root is inserted by exactly one winner
+  // and commits exactly once (duplicate edges surface as insert_dups).
+  expect_eq("bfs insert_commits", d[obs::counter::insert_commits], reached - 1);
+  expect_eq("bfs erase_ops", d[obs::counter::erase_ops], 0);
+  check_insert_identity(d);
+  return d;
+}
+
+obs::metrics_snapshot run_mixed(std::size_t n) {
+  // Distinct nonzero keys so every op count has a closed-form reference.
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = hash64(i + 1) | 1;
+  std::vector<std::uint64_t> half(keys.begin(),
+                                  keys.begin() + static_cast<long>(n / 2));
+  deterministic_table<int_entry<>> t(round_up_pow2(2 * n));
+
+  const obs::metrics_snapshot before = obs::snapshot();
+  obs::mark("mixed/start");
+  insert_batch(t, keys);
+  obs::mark("mixed/inserted");
+  const auto found = find_batch(t, keys);
+  obs::mark("mixed/found");
+  erase_batch(t, half);
+  obs::mark("mixed/erased");
+  const obs::metrics_snapshot d = obs::snapshot() - before;
+
+  std::uint64_t hits = 0;
+  for (const auto v : found) {
+    if (!int_entry<>::is_empty(v)) ++hits;
+  }
+  // approx_size is exact here: the table is quiescent between phases.
+  const std::uint64_t unique = t.approx_size() + n / 2;
+  expect_eq("mixed insert_ops", d[obs::counter::insert_ops], n);
+  expect_eq("mixed insert_commits", d[obs::counter::insert_commits], unique);
+  expect_eq("mixed find_ops", d[obs::counter::find_ops], n);
+  expect_eq("mixed find_hits", d[obs::counter::find_hits], hits);
+  expect_eq("mixed erase_ops", d[obs::counter::erase_ops], n / 2);
+  expect_eq("mixed erase_hits", d[obs::counter::erase_hits], n / 2);
+  check_insert_identity(d);
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cmdline cl(argc, argv);
+  const std::string workload = cl.get_string("-workload", "dedup");
+  const std::size_t n = static_cast<std::size_t>(cl.get_long("-n", 1000000));
+  const std::string metrics_path = cl.get_string("-metrics", "phch_metrics.json");
+  const std::string trace_path = cl.get_string("-trace", "phch_trace.json");
+
+  if (!obs::compiled) {
+    std::fprintf(stderr,
+                 "phch_trace: telemetry is compiled out; reconfigure with "
+                 "-DPHCH_TELEMETRY=ON\n");
+    return 2;
+  }
+  obs::set_enabled(true);
+
+  const long threads = cl.get_long("-threads", 0);
+  if (threads > 0) scheduler::get().set_num_workers(static_cast<int>(threads));
+
+  std::printf("phch_trace: workload=%s n=%zu threads=%d\n", workload.c_str(), n,
+              num_workers());
+  obs::reset();
+
+  if (workload == "dedup") {
+    run_dedup(n);
+  } else if (workload == "bfs") {
+    run_bfs(n);
+  } else if (workload == "mixed") {
+    run_mixed(n);
+  } else {
+    std::fprintf(stderr, "phch_trace: unknown workload '%s'\n", workload.c_str());
+    return 1;
+  }
+  if (num_workers() == 1) {
+    expect_eq("cas_failures at p=1", obs::total(obs::counter::cas_failures), 0);
+  }
+
+  if (!obs::write_metrics_json(metrics_path.c_str())) {
+    std::fprintf(stderr, "phch_trace: cannot write %s\n", metrics_path.c_str());
+    return 1;
+  }
+  if (!obs::write_chrome_trace(trace_path.c_str())) {
+    std::fprintf(stderr, "phch_trace: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf("phch_trace: wrote %s and %s (%s)\n", metrics_path.c_str(),
+              trace_path.c_str(), failures == 0 ? "all checks passed" : "CHECKS FAILED");
+  return failures == 0 ? 0 : 1;
+}
