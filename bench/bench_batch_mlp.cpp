@@ -27,8 +27,11 @@
 
 #include "bench_common.h"
 #include "phch/core/batch_ops.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
 #include "phch/core/deterministic_table.h"
 #include "phch/core/growable_table.h"
+#include "phch/core/hopscotch_table.h"
 #include "phch/core/table_stats.h"
 #include "phch/core/tombstone_table.h"
 #include "phch/obs/export.h"
@@ -295,6 +298,93 @@ int main(int argc, char** argv) {
                 grow_find.scalar, grow_find.pipelined);
   }
 
+  // --- sparse family: scalar vs batched block engines ----------------------
+  //
+  // The cuckoo / hopscotch / chained tables now carry their own AMAC-style
+  // batch engines (both candidate buckets, home neighborhood, or the chain
+  // pointer walk prefetched per in-flight lane). Measure each table's block
+  // engine against its scalar per-op loop on one thread at load 0.5 —
+  // uniform present keys for find, and a slab of present keys erased then
+  // re-inserted so every rep measures the same key set. (Erase-then-insert,
+  // not insert-then-erase: load 0.5 is the 2-choice cuckoo placement
+  // threshold, so the slab must stay below it, never above.)
+  struct sparse_result {
+    const char* name = nullptr;
+    double find_scalar = 0, find_batched = 0;
+    double insert_scalar = 0, insert_batched = 0;
+    double erase_scalar = 0, erase_batched = 0;
+  };
+  std::vector<sparse_result> sparse;
+  const std::size_t scap = std::max<std::size_t>(std::size_t{1} << 18, cap >> 1);
+  {
+    auto sparse_bench = [&]<typename Table>(const char* name) {
+      const std::size_t sfill = scap / 2;
+      Table t(scap);
+      parallel_for(0, sfill, [&](std::size_t i) { t.insert(pool[i]); });
+
+      sparse_result r;
+      r.name = name;
+      const std::size_t sqbatch = std::min(qbatch, scap / 8);
+      const auto sqkeys = tabulate(sqbatch, [&](std::size_t i) {
+        return pool[hash64(i ^ 0x27d4eb2f165667c5ULL) % sfill];
+      });
+      std::vector<std::uint64_t> sout(sqbatch);
+      const double per_q = 1e9 / static_cast<double>(sqbatch);
+      r.find_scalar = per_q * time_median([] {}, [&] {
+        for (std::size_t i = 0; i < sqbatch; ++i) sout[i] = t.find(sqkeys[i]);
+      });
+      r.find_batched = per_q * time_median([] {}, [&] {
+        t.find_batch_block(sqkeys.data(), sqbatch, sout.data(), width);
+      });
+
+      const std::size_t sdbatch = std::min(sqbatch, sfill / 2);
+      const auto sdkeys =
+          tabulate(sdbatch, [&](std::size_t i) { return pool[i]; });
+      const double per_d = 1e9 / static_cast<double>(sdbatch);
+      std::vector<double> te, ti;
+      auto pairwise = [&](auto&& del, auto&& ins) {
+        te.clear();
+        ti.clear();
+        for (long rep = 0; rep < reps(); ++rep) {
+          te.push_back(time_once(del));
+          ti.push_back(time_once(ins));
+        }
+        return std::pair<double, double>{per_d * med(te), per_d * med(ti)};
+      };
+      std::tie(r.erase_scalar, r.insert_scalar) = pairwise(
+          [&] {
+            for (std::size_t i = 0; i < sdbatch; ++i) t.erase(sdkeys[i]);
+          },
+          [&] {
+            for (std::size_t i = 0; i < sdbatch; ++i) t.insert(sdkeys[i]);
+          });
+      std::tie(r.erase_batched, r.insert_batched) = pairwise(
+          [&] { t.erase_batch_block(sdkeys.data(), sdbatch, width); },
+          [&] { t.insert_batch_block(sdkeys.data(), sdbatch, width); });
+      sparse.push_back(r);
+    };
+    sparse_bench.template operator()<cuckoo_table<int_entry<>>>("cuckoo");
+    sparse_bench.template operator()<hopscotch_table<int_entry<>, true>>(
+        "hopscotch");
+    sparse_bench.template operator()<chained_table<int_entry<>, true>>(
+        "chained");
+
+    std::printf("\nsparse family (capacity %zu, load 0.50), one worker, "
+                "scalar vs batched block engine:\n",
+                scap);
+    std::printf("  %-10s | %17s | %17s | %17s\n", "", "find ns/op",
+                "insert ns/op", "erase ns/op");
+    std::printf("  %-10s | %8s %8s | %8s %8s | %8s %8s\n", "table", "scalar",
+                "batched", "scalar", "batched", "scalar", "batched");
+    for (const auto& r : sparse) {
+      std::printf("  %-10s | %8.1f %8.1f | %8.1f %8.1f | %8.1f %8.1f\n", r.name,
+                  r.find_scalar, r.find_batched, r.insert_scalar,
+                  r.insert_batched, r.erase_scalar, r.erase_batched);
+    }
+    std::printf("  (shape: batched find should lead scalar by >= 1.3x for "
+                "cuckoo at this load)\n");
+  }
+
   // --- telemetry overhead guard --------------------------------------------
   //
   // The obs layer's contract: with PHCH_TELEMETRY compiled in and recording
@@ -391,6 +481,20 @@ int main(int argc, char** argv) {
                "    \"find\": {\"per_op_ns\": %.1f, \"batched_ns\": %.1f}},\n",
                grow_n, grow_growths, grow_insert.scalar, grow_insert.pipelined,
                grow_find.scalar, grow_find.pipelined);
+  std::fprintf(f, "  \"sparse\": {\"capacity\": %zu, \"load\": 0.5, \"tables\": [\n",
+               scap);
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    const auto& r = sparse[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\",\n"
+                 "     \"find\": {\"scalar_ns\": %.1f, \"batched_ns\": %.1f},\n"
+                 "     \"insert\": {\"scalar_ns\": %.1f, \"batched_ns\": %.1f},\n"
+                 "     \"erase\": {\"scalar_ns\": %.1f, \"batched_ns\": %.1f}}%s\n",
+                 r.name, r.find_scalar, r.find_batched, r.insert_scalar,
+                 r.insert_batched, r.erase_scalar, r.erase_batched,
+                 i + 1 < sparse.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
   std::fprintf(f,
                "  \"counter\": {\"threads\": %d, \"increments\": %zu, "
                "\"shared_atomic_ns\": %.2f, \"striped_ns\": %.2f},\n",

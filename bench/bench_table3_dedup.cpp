@@ -12,11 +12,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_tables.h"
 #include "phch/apps/remove_duplicates.h"
-#include "phch/core/chained_table.h"
-#include "phch/core/cuckoo_table.h"
-#include "phch/core/deterministic_table.h"
-#include "phch/core/nd_linear_table.h"
 #include "phch/obs/export.h"
 #include "phch/obs/telemetry.h"
 #include "phch/workloads/sequences.h"
@@ -44,23 +41,17 @@ void panel(const char* name, const std::vector<V>& input, const double paper[4])
   panel_result r;
   r.name = name;
   const obs::metrics_snapshot before = obs::snapshot();
-  r.d = time_median([] {}, [&] {
-    apps::remove_duplicates<deterministic_table<Traits>>(input, cap);
-  });
-  r.nd = time_median([] {}, [&] {
-    apps::remove_duplicates<nd_linear_table<Traits>>(input, cap);
-  });
-  r.ck = time_median([] {}, [&] {
-    apps::remove_duplicates<cuckoo_table<Traits>>(input, 2 * cap);
-  });
-  r.ch = time_median([] {}, [&] {
-    apps::remove_duplicates<chained_table<Traits, true>>(input, cap);
+  const auto secs = run_paper_backends<Traits>([&]<typename Table>(std::size_t row) {
+    const std::size_t c = row == kCuckooRow ? 2 * cap : cap;
+    return time_median([] {},
+                       [&] { apps::remove_duplicates<Table>(input, c); });
   });
   r.counters = obs::snapshot() - before;
-  print_row_vs("linearHash-D", r.d, paper[0]);
-  print_row_vs("linearHash-ND", r.nd, paper[1]);
-  print_row_vs("cuckooHash", r.ck, paper[2]);
-  print_row_vs("chainedHash-CR", r.ch, paper[3]);
+  r.d = secs[0];
+  r.nd = secs[1];
+  r.ck = secs[2];
+  r.ch = secs[3];
+  print_backend_rows(secs, paper);
   print_ratio("linearHash-D / linearHash-ND", r.d / r.nd, paper[0] / paper[1]);
   print_ratio("cuckooHash / linearHash-D", r.ck / r.d, paper[2] / paper[0]);
   results.push_back(std::move(r));

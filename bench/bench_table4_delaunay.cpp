@@ -4,11 +4,8 @@
 // Shape (paper, 40h): linearHash-D ~3-6% slower than linearHash-ND; both
 // ~40% faster than cuckooHash and 2-3x faster than chainedHash-CR.
 #include "bench_common.h"
+#include "bench_tables.h"
 #include "phch/apps/delaunay_refine.h"
-#include "phch/core/chained_table.h"
-#include "phch/core/cuckoo_table.h"
-#include "phch/core/deterministic_table.h"
-#include "phch/core/nd_linear_table.h"
 #include "phch/geometry/point_generators.h"
 
 using namespace phch;
@@ -30,20 +27,15 @@ void panel(const char* name, const std::vector<geometry::point2d>& pts,
   const auto base = geometry::mesh::delaunay(pts);
   const double alpha = 25.0;
   const std::size_t budget = 2 * pts.size();
-  const double d =
-      hash_portion<deterministic_table<int_entry<std::uint64_t>>>(base, alpha, budget);
-  const double nd =
-      hash_portion<nd_linear_table<int_entry<std::uint64_t>>>(base, alpha, budget);
-  const double ck =
-      hash_portion<cuckoo_table<int_entry<std::uint64_t>>>(base, alpha, budget);
-  const double ch = hash_portion<chained_table<int_entry<std::uint64_t>, true>>(
-      base, alpha, budget);
-  print_row_vs("linearHash-D", d, paper[0]);
-  print_row_vs("linearHash-ND", nd, paper[1]);
-  print_row_vs("cuckooHash", ck, paper[2]);
-  print_row_vs("chainedHash-CR", ch, paper[3]);
-  print_ratio("linearHash-D / linearHash-ND", d / nd, paper[0] / paper[1]);
-  print_ratio("chainedHash-CR / linearHash-D", ch / d, paper[3] / paper[0]);
+  const auto secs = run_paper_backends<int_entry<std::uint64_t>>(
+      [&]<typename Table>(std::size_t) {
+        return hash_portion<Table>(base, alpha, budget);
+      });
+  print_backend_rows(secs, paper);
+  print_ratio("linearHash-D / linearHash-ND", secs[0] / secs[1],
+              paper[0] / paper[1]);
+  print_ratio("chainedHash-CR / linearHash-D", secs[3] / secs[0],
+              paper[3] / paper[0]);
 }
 
 }  // namespace

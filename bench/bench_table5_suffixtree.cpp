@@ -8,10 +8,7 @@
 #include <optional>
 
 #include "bench_common.h"
-#include "phch/core/chained_table.h"
-#include "phch/core/cuckoo_table.h"
-#include "phch/core/deterministic_table.h"
-#include "phch/core/nd_linear_table.h"
+#include "bench_tables.h"
 #include "phch/strings/suffix_tree.h"
 #include "phch/utils/rand.h"
 #include "phch/workloads/trigram.h"
@@ -60,22 +57,20 @@ void panel(const char* name, const std::string& text, const double paper_ins[4],
   std::printf("  (%zu tree nodes; %zu queries)\n", skel.nodes.size(), q);
   const auto queries = make_queries(text, q);
   using cmin = pair_entry<combine_min>;
-  const auto d = run_backend<deterministic_table<cmin>>(skel, queries);
-  const auto nd = run_backend<nd_linear_table<cmin>>(skel, queries);
-  const auto ck = run_backend<cuckoo_table<cmin>>(skel, queries);
-  const auto ch = run_backend<chained_table<cmin, true>>(skel, queries);
+  const auto res = run_paper_backends<cmin>([&]<typename Table>(std::size_t) {
+    return run_backend<Table>(skel, queries);
+  });
+  std::array<double, kNumPaperBackends> ins{}, search{};
+  for (std::size_t i = 0; i < kNumPaperBackends; ++i) {
+    ins[i] = res[i].first;
+    search[i] = res[i].second;
+  }
   std::printf("  insert:\n");
-  print_row_vs("linearHash-D", d.first, paper_ins[0]);
-  print_row_vs("linearHash-ND", nd.first, paper_ins[1]);
-  print_row_vs("cuckooHash", ck.first, paper_ins[2]);
-  print_row_vs("chainedHash-CR", ch.first, paper_ins[3]);
+  print_backend_rows(ins, paper_ins);
   std::printf("  search:\n");
-  print_row_vs("linearHash-D", d.second, paper_search[0]);
-  print_row_vs("linearHash-ND", nd.second, paper_search[1]);
-  print_row_vs("cuckooHash", ck.second, paper_search[2]);
-  print_row_vs("chainedHash-CR", ch.second, paper_search[3]);
-  print_ratio("insert: D / ND", d.first / nd.first, paper_ins[0] / paper_ins[1]);
-  print_ratio("search: chained / D", ch.second / d.second,
+  print_backend_rows(search, paper_search);
+  print_ratio("insert: D / ND", ins[0] / ins[1], paper_ins[0] / paper_ins[1]);
+  print_ratio("search: chained / D", search[3] / search[0],
               paper_search[3] / paper_search[0]);
 }
 

@@ -1,0 +1,55 @@
+// The four table backends of the paper's Tables 3-5 (§6), in fixed row
+// order, behind the concepts layer: each bench panel used to spell out one
+// timing call per backend; run_paper_backends lets it write the measurement
+// once as a templated lambda and get the four results back in row order.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "bench_common.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/core/table_concepts.h"
+
+namespace phch::bench {
+
+inline constexpr std::size_t kNumPaperBackends = 4;
+inline constexpr const char* kPaperBackendNames[kNumPaperBackends] = {
+    "linearHash-D", "linearHash-ND", "cuckooHash", "chainedHash-CR"};
+
+// Row index of cuckooHash, which the paper sizes at twice the slots (its
+// two tables' worth of memory).
+inline constexpr std::size_t kCuckooRow = 2;
+
+// Invokes `fn.template operator()<Table>(row)` once per backend — a C++20
+// templated lambda [&]<typename Table>(std::size_t row) { ... } — and
+// returns the four results in paper row order. Every backend models
+// phase_table (and deletable_table), so the lambda can be written once
+// against the concepts layer.
+template <typename Traits, typename Fn>
+auto run_paper_backends(Fn&& fn) {
+  static_assert(deletable_table<deterministic_table<Traits>> &&
+                deletable_table<nd_linear_table<Traits>> &&
+                deletable_table<cuckoo_table<Traits>> &&
+                deletable_table<chained_table<Traits, true>>);
+  using R = decltype(fn.template operator()<deterministic_table<Traits>>(0));
+  std::array<R, kNumPaperBackends> out{};
+  out[0] = fn.template operator()<deterministic_table<Traits>>(0);
+  out[1] = fn.template operator()<nd_linear_table<Traits>>(1);
+  out[2] = fn.template operator()<cuckoo_table<Traits>>(2);
+  out[3] = fn.template operator()<chained_table<Traits, true>>(3);
+  return out;
+}
+
+// The standard four-row comparison block against the paper's 40h seconds.
+inline void print_backend_rows(const std::array<double, kNumPaperBackends>& secs,
+                               const double paper[kNumPaperBackends]) {
+  for (std::size_t i = 0; i < kNumPaperBackends; ++i) {
+    print_row_vs(kPaperBackendNames[i], secs[i], paper[i]);
+  }
+}
+
+}  // namespace phch::bench

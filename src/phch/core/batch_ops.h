@@ -34,8 +34,10 @@
 // and delete policies. Any table modeling `batchable_table`
 // (core/table_concepts.h) — deterministic, nd-linear, and tombstone alike —
 // is driven by the same pipelined loops. Tables with their own whole-batch
-// members (`batch_forwarding_table`, e.g. growable_table) are forwarded to;
-// everything else (cuckoo, chained, hopscotch, serial) gets a scalar
+// members (`batch_forwarding_table` / `erase_forwarding_table`: the
+// growable wrapper, and the sparse family — cuckoo, hopscotch, chained —
+// whose prefetch-structured walks live next to their probe logic) are
+// forwarded to; everything else (serial_table, ...) gets a scalar
 // fallback with identical semantics, so the batch API is usable
 // generically. All batch helpers preserve the phase contract: a batch is
 // one phase, and the engine opens the table's phase scope per block so
@@ -487,7 +489,7 @@ std::vector<typename Table::value_type> find_batch(const Table& t,
 // Erases keys[0..n). One delete phase.
 template <typename Table, typename K>
 void erase_batch(Table& t, const std::vector<K>& keys) {
-  if constexpr (requires { t.erase_batch(keys); }) {
+  if constexpr (erase_forwarding_table<Table>) {
     t.erase_batch(keys);
   } else if constexpr (batchable_table<Table>) {
     auto scope = t.batch_erase_scope();

@@ -15,20 +15,35 @@
 //    closed addressing.
 //  - elements() follows the paper: count each bucket's chain, prefix-sum
 //    the counts, then copy chains into the output array bucket-parallel.
+//
+// The table models phase_table / deletable_table and forwards its own batch
+// members (batch_forwarding_table / erase_forwarding_table). A chained
+// lookup is a pointer chase — bucket head, then node after node — so the
+// batched find is a true AMAC walk: a ring of in-flight lookups each
+// prefetches its next node (starting from the bucket-head line) and yields
+// the lane, advancing one link per rotation on warm lines. Mutating batches
+// prefetch the bucket head and lock line ahead of the scalar handoff.
+// Occupancy is tracked by a striped counter (approx_size(), exact at phase
+// boundaries); count() remains the O(buckets + nodes) verification scan.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "phch/core/batch_ops.h"
 #include "phch/core/entry_traits.h"
 #include "phch/core/phase_guard.h"
 #include "phch/core/table_common.h"
+#include "phch/obs/telemetry.h"
 #include "phch/parallel/atomics.h"
+#include "phch/parallel/parallel_for.h"
 #include "phch/parallel/primitives.h"
 #include "phch/parallel/spinlock.h"
+#include "phch/parallel/striped_counter.h"
 
 namespace phch {
 
@@ -50,6 +65,13 @@ class chained_table {
 
   std::size_t capacity() const noexcept { return num_buckets_; }
 
+  // Striped occupancy: exact at a phase boundary, approximate mid-phase.
+  std::size_t approx_size() const noexcept {
+    return static_cast<std::size_t>(occupied_.sum());
+  }
+
+  // O(buckets + nodes) reference count, kept as the verification path for
+  // approx_size().
   std::size_t count() const {
     return reduce(std::size_t{0}, num_buckets_, std::size_t{0}, std::plus<std::size_t>{},
                   [&](std::size_t b) {
@@ -61,52 +83,17 @@ class chained_table {
 
   void insert(value_type v) {
     typename Phase::scope guard(phase_, op_kind::insert);
-    assert(!Traits::is_empty(v));
-    const key_type k = Traits::key(v);
-    const std::size_t b = bucket(k);
-    if constexpr (ContentionReducing) {
-      // Lock-free pre-pass: on a duplicate hit, combine (or drop) without
-      // ever touching the lock.
-      if (node* hit = find_node(b, k)) {
-        combine_node(hit, v);
-        return;
-      }
-    }
-    std::lock_guard<spinlock> lg(locks_[b & lock_mask_]);
-    if (node* hit = find_node(b, k)) {  // re-check under the lock
-      combine_node(hit, v);
-      return;
-    }
-    node* n = pool_.allocate();
-    n->v = v;
-    n->next = buckets_[b];
-    atomic_store(&buckets_[b], n);
+    insert_impl(v);
   }
 
   void erase(key_type kq) {
     typename Phase::scope guard(phase_, op_kind::erase);
-    const std::size_t b = bucket(kq);
-    if constexpr (ContentionReducing) {
-      if (find_node(b, kq) == nullptr) return;  // miss: no lock needed
-    }
-    std::lock_guard<spinlock> lg(locks_[b & lock_mask_]);
-    node* prev = nullptr;
-    for (node* n = buckets_[b]; n; prev = n, n = n->next) {
-      if (Traits::key_equal(Traits::key(n->v), kq)) {
-        if (prev)
-          atomic_store(&prev->next, n->next);
-        else
-          atomic_store(&buckets_[b], n->next);
-        pool_.release(n);
-        return;
-      }
-    }
+    erase_impl(kq);
   }
 
   value_type find(key_type kq) const {
     typename Phase::scope guard(phase_, op_kind::query);
-    const node* n = find_node(bucket(kq), kq);
-    return n ? n->v : Traits::empty();
+    return find_impl(kq);
   }
 
   bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
@@ -138,6 +125,223 @@ class chained_table {
     });
   }
 
+  // --- whole-batch members (batch_forwarding_table) ------------------------
+  // One phase scope spans the batch; blocked_for supplies the cross-block
+  // parallelism and the per-block engines below supply the memory-level
+  // parallelism.
+
+  template <typename V>
+  void insert_batch(const std::vector<V>& values) {
+    [[maybe_unused]] auto scope = batch_insert_scope();
+    const std::size_t width = batch_width();
+    blocked_for(0, values.size(), 2048,
+                [&](std::size_t, std::size_t s, std::size_t e) {
+                  insert_batch_block(values.data() + s, e - s, width);
+                });
+  }
+
+  template <typename K>
+  std::vector<value_type> find_batch(const std::vector<K>& keys) const {
+    std::vector<value_type> out(keys.size());
+    [[maybe_unused]] auto scope = batch_query_scope();
+    const std::size_t width = batch_width();
+    blocked_for(0, keys.size(), 2048,
+                [&](std::size_t, std::size_t s, std::size_t e) {
+                  find_batch_block(keys.data() + s, e - s, out.data() + s, width);
+                });
+    return out;
+  }
+
+  template <typename K>
+  void erase_batch(const std::vector<K>& keys) {
+    [[maybe_unused]] auto scope = batch_erase_scope();
+    const std::size_t width = batch_width();
+    blocked_for(0, keys.size(), 2048,
+                [&](std::size_t, std::size_t s, std::size_t e) {
+                  erase_batch_block(keys.data() + s, e - s, width);
+                });
+  }
+
+  // --- single-thread block engines -----------------------------------------
+  // Serial within a block; public so benches can drive them directly with
+  // explicit widths.
+
+  // AMAC chain walk: each in-flight lookup is a tiny state machine — load
+  // the bucket head (line prefetched at issue), then follow next pointers,
+  // prefetching each node one rotation before inspecting it. Every miss of
+  // the pointer chase overlaps with up to width-1 others.
+  template <typename K>
+  void find_batch_block(const K* keys, std::size_t n, value_type* out,
+                        std::size_t width) const {
+    if (width > kMaxBatchWidth) width = kMaxBatchWidth;
+    if (width < 1) width = 1;
+    struct op {
+      std::size_t idx;
+      std::size_t b;
+      const node* cur;  // nullptr while waiting on the bucket-head line
+      key_type kq;
+    };
+    std::array<op, kMaxBatchWidth> ring;
+    std::size_t issued = 0;
+    std::size_t live = 0;
+    std::uint64_t t_loads = 0, t_rot = 0, t_hits = 0, t_links = 0;
+
+    auto start = [&](op& o) {
+      const std::size_t idx = issued++;
+      const key_type kq = keys[idx];
+      o = op{idx, bucket(kq), nullptr, kq};
+      detail::prefetch_ro(&buckets_[o.b]);
+    };
+    while (live < width && issued < n) start(ring[live++]);
+
+    std::size_t r = 0;
+    while (live > 0) {
+      op& o = ring[r];
+      bool done = false;
+      value_type result{};
+      if (o.cur == nullptr) {
+        const node* h = load_head(o.b);
+        ++t_loads;
+        if (h == nullptr) {
+          done = true;
+          result = Traits::empty();
+        } else {
+          o.cur = h;
+          detail::prefetch_ro(h);
+        }
+      } else {
+        ++t_loads;
+        ++t_links;
+        if (Traits::key_equal(Traits::key(o.cur->v), o.kq)) {
+          done = true;
+          result = o.cur->v;
+          ++t_hits;
+        } else {
+          const node* nx = atomic_load(&o.cur->next);
+          if (nx == nullptr) {
+            done = true;
+            result = Traits::empty();
+          } else {
+            o.cur = nx;
+            detail::prefetch_ro(nx);
+          }
+        }
+      }
+      if (done) {
+        out[o.idx] = result;
+        if (issued < n) {
+          start(o);
+        } else {
+          ring[r] = ring[--live];
+          if (r == live) r = 0;
+          continue;
+        }
+      }
+      ++t_rot;
+      if (++r >= live) r = 0;
+    }
+    obs::count(obs::counter::find_ops, n);
+    obs::count(obs::counter::find_hits, t_hits);
+    obs::count(obs::counter::chained_chain_links, t_links);
+    obs::count(obs::counter::batch_probe_slots, t_loads);
+    obs::count(obs::counter::batch_rotations, t_rot);
+    obs::count(obs::counter::batch_blocks);
+  }
+
+  template <typename V>
+  void insert_batch_block(const V* values, std::size_t n, std::size_t width) {
+    if (width > kMaxBatchWidth) width = kMaxBatchWidth;
+    if (width < 1) width = 1;
+    struct op {
+      std::size_t b;
+      value_type v;
+    };
+    std::array<op, kMaxBatchWidth> ring;
+    std::size_t issued = 0;
+    std::size_t live = 0;
+    std::uint64_t t_rot = 0, t_handoffs = 0;
+
+    auto start = [&](op& o) {
+      const value_type v = values[issued++];
+      o = op{bucket(Traits::key(v)), v};
+      detail::prefetch_rw(&buckets_[o.b]);
+      detail::prefetch_rw(&locks_[o.b & lock_mask_]);
+    };
+    while (live < width && issued < n) start(ring[live++]);
+
+    std::size_t r = 0;
+    while (live > 0) {
+      op& o = ring[r];
+      ++t_handoffs;
+      insert_impl(o.v);  // scalar handoff: head and lock lines are warm
+      if (issued < n) {
+        start(o);
+      } else {
+        ring[r] = ring[--live];
+        if (r == live) r = 0;
+        continue;
+      }
+      ++t_rot;
+      if (++r >= live) r = 0;
+    }
+    obs::count(obs::counter::batch_rotations, t_rot);
+    obs::count(obs::counter::batch_handoffs, t_handoffs);
+    obs::count(obs::counter::batch_blocks);
+  }
+
+  template <typename K>
+  void erase_batch_block(const K* keys, std::size_t n, std::size_t width) {
+    if (width > kMaxBatchWidth) width = kMaxBatchWidth;
+    if (width < 1) width = 1;
+    struct op {
+      std::size_t b;
+      key_type kq;
+    };
+    std::array<op, kMaxBatchWidth> ring;
+    std::size_t issued = 0;
+    std::size_t live = 0;
+    std::uint64_t t_rot = 0, t_handoffs = 0;
+
+    auto start = [&](op& o) {
+      const key_type kq = keys[issued++];
+      o = op{bucket(kq), kq};
+      detail::prefetch_rw(&buckets_[o.b]);
+      detail::prefetch_rw(&locks_[o.b & lock_mask_]);
+    };
+    while (live < width && issued < n) start(ring[live++]);
+
+    std::size_t r = 0;
+    while (live > 0) {
+      op& o = ring[r];
+      ++t_handoffs;
+      erase_impl(o.kq);
+      if (issued < n) {
+        start(o);
+      } else {
+        ring[r] = ring[--live];
+        if (r == live) r = 0;
+        continue;
+      }
+      ++t_rot;
+      if (++r >= live) r = 0;
+    }
+    obs::count(obs::counter::batch_rotations, t_rot);
+    obs::count(obs::counter::batch_handoffs, t_handoffs);
+    obs::count(obs::counter::batch_blocks);
+  }
+
+  // Batch-engine phase hooks: one scope spanning a whole batch, so
+  // checked_phases observes batched traffic it would otherwise miss.
+  typename Phase::scope batch_query_scope() const {
+    return typename Phase::scope(phase_, op_kind::query);
+  }
+  typename Phase::scope batch_insert_scope() {
+    return typename Phase::scope(phase_, op_kind::insert);
+  }
+  typename Phase::scope batch_erase_scope() {
+    return typename Phase::scope(phase_, op_kind::erase);
+  }
+
  private:
   static constexpr std::size_t kMaxLocks = 1 << 16;
 
@@ -155,7 +359,11 @@ class chained_table {
       // Recycled node?
       tagged head = free_head_.load();
       while (head.ptr != nullptr) {
-        const tagged next{head.ptr->next, head.tag + 1};
+        // Atomic: the current owner may be writing this next field right
+        // now if it popped the node between our load and the CAS below —
+        // the tag check then discards the value, but the read must still
+        // be race-free.
+        const tagged next{atomic_load(&head.ptr->next), head.tag + 1};
         if (free_head_.compare_exchange_weak(head, next)) return head.ptr;
       }
       // Bump-allocate from the current chunk.
@@ -180,7 +388,7 @@ class chained_table {
     void release(node* n) {
       tagged head = free_head_.load();
       for (;;) {
-        n->next = head.ptr;
+        atomic_store(&n->next, head.ptr);
         const tagged next{n, head.tag + 1};
         if (free_head_.compare_exchange_weak(head, next)) return;
       }
@@ -209,10 +417,15 @@ class chained_table {
 
   const node* load_head(std::size_t b) const noexcept { return atomic_load(&buckets_[b]); }
 
-  node* find_node(std::size_t b, key_type kq) const noexcept {
+  // Lock-free chain walk; `links` accumulates nodes visited (flushed to the
+  // chained_chain_links counter by the calling operation).
+  node* find_node(std::size_t b, key_type kq, std::uint64_t& links) const noexcept {
     for (node* n = atomic_load(&buckets_[b]); n != nullptr;
          n = atomic_load(&n->next)) {
-      if (Traits::key_equal(Traits::key(n->v), kq)) return n;
+      ++links;
+      // Atomic value read: during an insert phase a concurrent duplicate
+      // may be combine-CASing this node's value while we compare keys.
+      if (Traits::key_equal(Traits::key(atomic_load(&n->v)), kq)) return n;
     }
     return nullptr;
   }
@@ -234,12 +447,93 @@ class chained_table {
     (void)incoming;
   }
 
+  // Scalar insert, shared by insert() and the batch handoff. Exactly one of
+  // insert_commits / insert_dups is recorded per call.
+  void insert_impl(value_type v) {
+    obs::count(obs::counter::insert_ops);
+    assert(!Traits::is_empty(v));
+    std::uint64_t links = 0;
+    const key_type k = Traits::key(v);
+    const std::size_t b = bucket(k);
+    if constexpr (ContentionReducing) {
+      // Lock-free pre-pass: on a duplicate hit, combine (or drop) without
+      // ever touching the lock.
+      if (node* hit = find_node(b, k, links)) {
+        combine_node(hit, v);
+        obs::count(obs::counter::insert_dups);
+        obs::count(obs::counter::chained_chain_links, links);
+        return;
+      }
+    }
+    {
+      std::lock_guard<spinlock> lg(locks_[b & lock_mask_]);
+      if (node* hit = find_node(b, k, links)) {  // re-check under the lock
+        combine_node(hit, v);
+        obs::count(obs::counter::insert_dups);
+        obs::count(obs::counter::chained_chain_links, links);
+        return;
+      }
+      node* n = pool_.allocate();
+      n->v = v;
+      atomic_store(&n->next, buckets_[b]);
+      atomic_store(&buckets_[b], n);
+    }
+    occupied_.increment();
+    obs::count(obs::counter::insert_commits);
+    obs::count(obs::counter::chained_chain_links, links);
+  }
+
+  void erase_impl(key_type kq) {
+    obs::count(obs::counter::erase_ops);
+    std::uint64_t links = 0;
+    const std::size_t b = bucket(kq);
+    if constexpr (ContentionReducing) {
+      if (find_node(b, kq, links) == nullptr) {  // miss: no lock needed
+        obs::count(obs::counter::chained_chain_links, links);
+        return;
+      }
+    }
+    bool hit = false;
+    {
+      std::lock_guard<spinlock> lg(locks_[b & lock_mask_]);
+      node* prev = nullptr;
+      for (node* n = buckets_[b]; n; prev = n, n = n->next) {
+        ++links;
+        if (Traits::key_equal(Traits::key(n->v), kq)) {
+          if (prev)
+            atomic_store(&prev->next, n->next);
+          else
+            atomic_store(&buckets_[b], n->next);
+          pool_.release(n);
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      occupied_.decrement();
+      obs::count(obs::counter::erase_hits);
+    }
+    obs::count(obs::counter::chained_chain_links, links);
+  }
+
+  value_type find_impl(key_type kq) const {
+    obs::count(obs::counter::find_ops);
+    std::uint64_t links = 0;
+    const node* n = find_node(bucket(kq), kq, links);
+    obs::count(obs::counter::chained_chain_links, links);
+    if (n == nullptr) return Traits::empty();
+    obs::count(obs::counter::find_hits);
+    return n->v;
+  }
+
   std::size_t num_buckets_;
   std::size_t mask_;
   std::vector<node*> buckets_;
   mutable std::vector<spinlock> locks_;
   std::size_t lock_mask_;
   mutable node_pool pool_;
+  striped_counter occupied_;
   mutable Phase phase_;
 };
 

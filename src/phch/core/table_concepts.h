@@ -25,7 +25,8 @@ namespace phch {
 
 // The baseline phase-concurrent table contract: typed entries plus the
 // paper's operation set { insert } / { find, contains, elements } (erase is
-// split out into deletable_table because cuckoo_table does not support it).
+// split out into deletable_table because a delete phase is optional —
+// e.g. serial or frozen reference tables need not support one).
 // Callers owe the phase discipline of Definition 1.
 template <typename T>
 concept phase_table =
@@ -78,8 +79,10 @@ concept batchable_table =
       t.batch_erase_scope();
     };
 
-// A table that implements its own whole-batch operations (e.g. the growable
-// wrapper, which must interleave growth checks with the batch). The free
+// A table that implements its own whole-batch operations (the growable
+// wrapper, which must interleave growth checks with the batch, and the
+// sparse family — chained/cuckoo/hopscotch — whose prefetch-structured
+// batch walks do not fit the flat-slot-array pipelined engine). The free
 // batch functions forward to these members before considering the pipelined
 // or scalar engines.
 template <typename T>
@@ -88,6 +91,16 @@ concept batch_forwarding_table =
              const std::vector<typename T::key_type>& ks) {
       t.insert_batch(vs);
       { ct.find_batch(ks) } -> std::convertible_to<std::vector<typename T::value_type>>;
+    };
+
+// The erase-side counterpart of batch_forwarding_table: a table with its
+// own whole-batch erase. Split out because erase support is itself optional
+// (see deletable_table), so a table may forward insert/find batches while
+// having no erase at all.
+template <typename T>
+concept erase_forwarding_table =
+    requires(T& t, const std::vector<typename T::key_type>& ks) {
+      t.erase_batch(ks);
     };
 
 // What growable_table requires of the table it grows: deletable, with the

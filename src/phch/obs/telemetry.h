@@ -73,6 +73,10 @@ enum class counter : std::uint8_t {
   // core/growable_table.h.
   growths,           // capacity doublings (migrations)
   migrated_elements, // elements re-inserted by migrations
+  // sparse-family structural events (cuckoo/hopscotch/chained tables).
+  cuckoo_evictions,        // eviction-chain steps (one per displaced victim)
+  hopscotch_displacements, // displace() moves bringing the hole toward home
+  chained_chain_links,     // chain nodes walked by finds and batch walks
   // core/phase_guard.h seam.
   phase_transitions, // per-table operation-class changes (insert->query, ...)
   kCount
@@ -87,6 +91,7 @@ inline const char* counter_name(counter c) noexcept {
       "erase_hits",        "find_ops",      "find_hits",      "batch_probe_slots",
       "batch_rotations",   "batch_handoffs", "batch_blocks",  "steals",
       "steal_failures",    "backoff_sleeps", "growths",       "migrated_elements",
+      "cuckoo_evictions",  "hopscotch_displacements", "chained_chain_links",
       "phase_transitions",
   };
   const auto i = static_cast<std::size_t>(c);

@@ -1,0 +1,332 @@
+// The sparse-table family (chained, cuckoo, hopscotch) on the unified
+// concepts/batch/telemetry stack: every table models phase_table /
+// deletable_table and forwards its own batch members, so the free batch
+// functions dispatch to the prefetch-structured walks — never the scalar
+// fallback — with set semantics identical to per-op calls across all six
+// paper key distributions. None of the three has a deterministic layout
+// (eviction interleavings, displacement order, and chain order are all
+// history-dependent), so equality is of element *sets*, not slot arrays.
+// The striped occupancy counter (approx_size) must agree with the O(n)
+// count() reference at every phase boundary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "phch/core/batch_ops.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
+#include "phch/core/hopscotch_table.h"
+#include "phch/core/table_concepts.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+// One test-family per sparse table; `table<Traits>` fixes the non-traits
+// template arguments to the variant the paper benchmarks (chainedHash-CR,
+// hopscotchHash with timestamps).
+struct chained_family {
+  template <typename Tr>
+  using table = chained_table<Tr, true>;
+  template <typename Tr>
+  using checked = chained_table<Tr, true, checked_phases>;
+};
+struct cuckoo_family {
+  template <typename Tr>
+  using table = cuckoo_table<Tr>;
+  template <typename Tr>
+  using checked = cuckoo_table<Tr, checked_phases>;
+};
+struct hopscotch_family {
+  template <typename Tr>
+  using table = hopscotch_table<Tr, true>;
+  template <typename Tr>
+  using checked = hopscotch_table<Tr, true, checked_phases>;
+};
+
+template <typename Family>
+class SparseBatch : public ::testing::Test {};
+using Families = ::testing::Types<chained_family, cuckoo_family, hopscotch_family>;
+TYPED_TEST_SUITE(SparseBatch, Families);
+
+// --- the concepts each table claims ----------------------------------------
+// batch_forwarding_table is what makes the free insert_batch/find_batch
+// dispatch to the tables' own members (that branch is checked before the
+// pipelined engine and the scalar fallback); erase_forwarding_table does the
+// same for erase_batch. None of the three exposes a raw slot array, so the
+// open-addressing stats/layout machinery and the flat-slot pipelined engine
+// stay off.
+template <typename T>
+constexpr void assert_sparse_concepts() {
+  static_assert(phase_table<T>);
+  static_assert(deletable_table<T>);
+  static_assert(batch_forwarding_table<T>);
+  static_assert(erase_forwarding_table<T>);
+  static_assert(!open_addressing_table<T>);
+  static_assert(!batchable_table<T>);
+  static_assert(!growable_source<T>);
+}
+
+TYPED_TEST(SparseBatch, ModelsClaimedConcepts) {
+  assert_sparse_concepts<typename TypeParam::template table<int_entry<>>>();
+  assert_sparse_concepts<typename TypeParam::template table<pair_entry<combine_min>>>();
+  assert_sparse_concepts<typename TypeParam::template table<string_entry>>();
+  assert_sparse_concepts<typename TypeParam::template checked<int_entry<>>>();
+}
+
+// --- batch vs scalar: set-semantics equality --------------------------------
+
+template <typename V, typename Less>
+std::vector<V> sorted(std::vector<V> v, Less less) {
+  std::sort(v.begin(), v.end(), less);
+  return v;
+}
+
+constexpr auto less_u64 = [](std::uint64_t a, std::uint64_t b) { return a < b; };
+constexpr auto less_kv = [](const kv64& a, const kv64& b) {
+  return a.k != b.k ? a.k < b.k : a.v < b.v;
+};
+
+// Inserts `input` through the forwarding batch path into one table and the
+// plain per-op loop into another, then requires equal contents, equal finds
+// for `queries`, equal contents again after erasing half the queries, and a
+// counter that is exact at each boundary.
+template <typename Table, typename Seq, typename Keys, typename Less>
+void check_batch_vs_scalar(const Seq& input, const Keys& queries,
+                           std::size_t capacity, Less less) {
+  Table batched(capacity);
+  Table scalar(capacity);
+  insert_batch(batched, input);  // free fn -> member forwarding
+  insert_batch_scalar(scalar, input);
+
+  ASSERT_EQ(batched.count(), scalar.count());
+  ASSERT_EQ(batched.approx_size(), batched.count());
+  {
+    const auto eb = sorted(batched.elements(), less);
+    const auto es = sorted(scalar.elements(), less);
+    ASSERT_EQ(eb.size(), es.size());
+    for (std::size_t i = 0; i < eb.size(); ++i) {
+      ASSERT_TRUE(bits_equal(eb[i], es[i])) << "element " << i;
+    }
+  }
+
+  const auto fb = find_batch(batched, queries);
+  const auto fs = find_batch_scalar(scalar, queries);
+  ASSERT_EQ(fb.size(), fs.size());
+  for (std::size_t i = 0; i < fb.size(); ++i) {
+    ASSERT_TRUE(bits_equal(fb[i], fs[i])) << "query " << i;
+  }
+
+  Keys dels;
+  for (std::size_t i = 0; i < queries.size(); i += 2) dels.push_back(queries[i]);
+  erase_batch(batched, dels);  // free fn -> member forwarding
+  erase_batch_scalar(scalar, dels);
+  ASSERT_EQ(batched.count(), scalar.count());
+  ASSERT_EQ(batched.approx_size(), batched.count());
+  const auto eb = sorted(batched.elements(), less);
+  const auto es = sorted(scalar.elements(), less);
+  ASSERT_EQ(eb.size(), es.size());
+  for (std::size_t i = 0; i < eb.size(); ++i) {
+    ASSERT_TRUE(bits_equal(eb[i], es[i])) << "element " << i;
+  }
+}
+
+TYPED_TEST(SparseBatch, RandomInt) {
+  using Table = typename TypeParam::template table<int_entry<>>;
+  const auto seq = workloads::random_int_seq(20000, 11);
+  std::vector<std::uint64_t> qs(seq.begin(), seq.begin() + 4000);
+  qs.push_back(1ULL << 50);  // absent
+  check_batch_vs_scalar<Table>(seq, qs, 1 << 16, less_u64);
+}
+
+TYPED_TEST(SparseBatch, ExptInt) {
+  using Table = typename TypeParam::template table<int_entry<>>;
+  const auto seq = workloads::expt_int_seq(20000, 12);
+  std::vector<std::uint64_t> qs(seq.begin(), seq.begin() + 4000);
+  qs.push_back(1ULL << 50);
+  check_batch_vs_scalar<Table>(seq, qs, 1 << 16, less_u64);
+}
+
+TYPED_TEST(SparseBatch, RandomPairInt) {
+  using Table = typename TypeParam::template table<pair_entry<combine_min>>;
+  const auto seq = workloads::random_pair_seq(16000, 13);
+  std::vector<std::uint64_t> qs;
+  for (std::size_t i = 0; i < 3000; ++i) qs.push_back(seq[i].k);
+  check_batch_vs_scalar<Table>(seq, qs, 1 << 16, less_kv);
+}
+
+TYPED_TEST(SparseBatch, ExptPairInt) {
+  using Table = typename TypeParam::template table<pair_entry<combine_add>>;
+  const auto seq = workloads::expt_pair_seq(16000, 14);
+  std::vector<std::uint64_t> qs;
+  for (std::size_t i = 0; i < 3000; ++i) qs.push_back(seq[i].k);
+  check_batch_vs_scalar<Table>(seq, qs, 1 << 16, less_kv);
+}
+
+// String keys are stored by pointer and trigram sequences repeat contents
+// at distinct addresses; without a combine function the surviving *pointer*
+// is arrival-order-dependent even though the surviving key contents are
+// not, so the string distributions are compared by contents.
+TYPED_TEST(SparseBatch, TrigramString) {
+  using Table = typename TypeParam::template table<string_entry>;
+  const auto words = workloads::trigram_string_seq(8000, 15);
+  Table batched(1 << 15);
+  Table scalar(1 << 15);
+  insert_batch(batched, words.keys);
+  insert_batch_scalar(scalar, words.keys);
+  ASSERT_EQ(batched.count(), scalar.count());
+  ASSERT_EQ(batched.approx_size(), batched.count());
+  const auto by_contents = [](const char* a, const char* b) {
+    return std::strcmp(a, b) < 0;
+  };
+  const auto eb = sorted(batched.elements(), by_contents);
+  const auto es = sorted(scalar.elements(), by_contents);
+  ASSERT_EQ(eb.size(), es.size());
+  for (std::size_t i = 0; i < eb.size(); ++i) {
+    ASSERT_EQ(std::strcmp(eb[i], es[i]), 0) << i;
+  }
+  std::vector<const char*> qs(words.keys.begin(), words.keys.begin() + 2000);
+  const auto fb = find_batch(batched, qs);
+  const auto fs = find_batch_scalar(scalar, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(std::strcmp(fb[i], fs[i]), 0) << i;
+  }
+  erase_batch(batched, qs);
+  erase_batch_scalar(scalar, qs);
+  ASSERT_EQ(batched.count(), scalar.count());
+  ASSERT_EQ(batched.approx_size(), batched.count());
+}
+
+// trigramSeq-pairInt stores record pointers whose combine keeps the stored
+// record on value ties, so the surviving pointer can differ run to run even
+// though the surviving (key, value) cannot.
+TYPED_TEST(SparseBatch, TrigramPairInt) {
+  using Table = typename TypeParam::template table<string_pair_entry>;
+  const auto words = workloads::trigram_pair_seq(8000, 16);
+  Table batched(1 << 15);
+  Table scalar(1 << 15);
+  insert_batch(batched, words.entries);
+  insert_batch_scalar(scalar, words.entries);
+  ASSERT_EQ(batched.count(), scalar.count());
+  ASSERT_EQ(batched.approx_size(), batched.count());
+  const auto by_contents = [](const string_pair_entry::value_type a,
+                              const string_pair_entry::value_type b) {
+    const int c = std::strcmp(a->key, b->key);
+    return c != 0 ? c < 0 : a->value < b->value;
+  };
+  const auto eb = sorted(batched.elements(), by_contents);
+  const auto es = sorted(scalar.elements(), by_contents);
+  ASSERT_EQ(eb.size(), es.size());
+  for (std::size_t i = 0; i < eb.size(); ++i) {
+    ASSERT_EQ(std::strcmp(eb[i]->key, es[i]->key), 0) << i;
+    ASSERT_EQ(eb[i]->value, es[i]->value) << i;
+  }
+  std::vector<const char*> qs;
+  for (std::size_t i = 0; i < 2000; ++i) qs.push_back(words.entries[i]->key);
+  const auto fb = find_batch(batched, qs);
+  const auto fs = find_batch_scalar(scalar, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(fb[i]->value, fs[i]->value) << i;
+  }
+}
+
+// --- approx_size exactness across repeated phase boundaries -----------------
+
+TYPED_TEST(SparseBatch, ApproxSizeExactAtEveryPhaseBoundary) {
+  using Table = typename TypeParam::template table<int_entry<>>;
+  Table t(1 << 15);
+  std::set<std::uint64_t> reference;
+  for (std::uint64_t round = 0; round < 4; ++round) {
+    auto ins = test::dup_keys(6000, 4000, 100 + round);
+    insert_batch(t, ins);
+    reference.insert(ins.begin(), ins.end());
+    ASSERT_EQ(t.count(), reference.size());
+    ASSERT_EQ(t.approx_size(), reference.size());
+    std::vector<std::uint64_t> dels;
+    std::size_t i = 0;
+    for (const auto k : reference) {
+      if (i++ % 3 == 0) dels.push_back(k);
+    }
+    erase_batch(t, dels);
+    for (const auto k : dels) reference.erase(k);
+    ASSERT_EQ(t.count(), reference.size());
+    ASSERT_EQ(t.approx_size(), reference.size());
+  }
+  const auto elems = t.elements();
+  const std::set<std::uint64_t> got(elems.begin(), elems.end());
+  EXPECT_EQ(got, reference);
+}
+
+// --- explicit width sweep through the public block engines ------------------
+
+TYPED_TEST(SparseBatch, BlockEnginesMatchScalarAtEveryWidth) {
+  using Table = typename TypeParam::template table<int_entry<>>;
+  const auto keys = test::unique_keys(3000, 21);
+  std::vector<std::uint64_t> queries = keys;
+  queries.push_back(1ULL << 49);  // absent
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                                  std::size_t{12}, std::size_t{64}}) {
+    Table t(1 << 13);
+    t.insert_batch_block(keys.data(), keys.size(), width);
+    ASSERT_EQ(t.count(), keys.size());
+    std::vector<std::uint64_t> out(queries.size());
+    t.find_batch_block(queries.data(), queries.size(), out.data(), width);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(out[i], keys[i]) << "width " << width << " query " << i;
+    }
+    ASSERT_TRUE(int_entry<>::is_empty(out[keys.size()]));
+    t.erase_batch_block(queries.data(), queries.size(), width);
+    ASSERT_EQ(t.count(), 0u);
+    ASSERT_EQ(t.approx_size(), 0u);
+  }
+}
+
+// --- checked_phases over whole batches --------------------------------------
+// A batch opens one phase scope for its entire span; a legal
+// insert->find->erase batch sequence must pass the checker silently, and an
+// operation of a conflicting class started *inside* a batch scope must be
+// routed to the structured violation handler.
+
+struct violation_capture {
+  static inline int calls = 0;
+  static inline op_kind attempted = op_kind::insert;
+  static void capture(const phase_violation& v) {
+    ++calls;
+    attempted = v.attempted;
+  }
+};
+
+TYPED_TEST(SparseBatch, CheckedPhasesAcceptsBatchSequences) {
+  using Table = typename TypeParam::template checked<int_entry<>>;
+  const auto keys = test::unique_keys(2000, 31);
+  Table t(1 << 13);
+  insert_batch(t, keys);
+  const auto found = find_batch(t, keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) ASSERT_EQ(found[i], keys[i]);
+  erase_batch(t, keys);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+TYPED_TEST(SparseBatch, CheckedPhasesReportsConflictInsideBatchScope) {
+  using Table = typename TypeParam::template checked<int_entry<>>;
+  Table t(1 << 12);
+  t.insert(7);
+  violation_capture::calls = 0;
+  phase_violation_handler prev =
+      set_phase_violation_handler(&violation_capture::capture);
+  {
+    auto scope = t.batch_insert_scope();  // an insert batch is in flight...
+    (void)t.find(7);                      // ...and a query starts against it
+  }
+  set_phase_violation_handler(prev);
+  EXPECT_EQ(violation_capture::calls, 1);
+  EXPECT_EQ(violation_capture::attempted, op_kind::query);
+}
+
+}  // namespace
+}  // namespace phch

@@ -31,5 +31,11 @@ while IFS= read -r header; do
 done < <(find "$root/src/phch" -name '*.h' | sort)
 
 rm -f /tmp/hdr_err.$$
+if [ "$checked" -eq 0 ]; then
+  # An empty header list means the tree layout changed (or the script moved);
+  # "0 checked, 0 failures" must not pass as green.
+  echo "error: no headers found under $root/src/phch" >&2
+  exit 1
+fi
 echo "checked $checked header compilations, $failures failure(s)"
 [ "$failures" -eq 0 ]

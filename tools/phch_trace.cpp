@@ -3,6 +3,7 @@
 // snapshot + chrome://tracing file.
 //
 //   ./phch_trace -workload dedup|bfs|mixed -n N [-threads P]
+//                [-table det|nd|tomb|chained|cuckoo|hopscotch]
 //                [-metrics metrics.json] [-trace trace.json]
 //
 // Exit status: 0 on success, 1 if any counter identity or reference count
@@ -16,6 +17,10 @@
 //           committed by exactly one WRITEMIN winner)
 //   mixed:  find_ops/find_hits == lookups issued, erase_hits == n/2
 // and in every workload insert_ops == commits + dups + aborts.
+//
+// -table swaps the backend: the same identities must hold for every table
+// in the unified stack, so each reference check is written once against the
+// concepts layer and instantiated per family.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -25,8 +30,13 @@
 #include "phch/apps/bfs.h"
 #include "phch/apps/remove_duplicates.h"
 #include "phch/core/batch_ops.h"
+#include "phch/core/chained_table.h"
+#include "phch/core/cuckoo_table.h"
 #include "phch/core/deterministic_table.h"
+#include "phch/core/hopscotch_table.h"
+#include "phch/core/nd_linear_table.h"
 #include "phch/core/table_common.h"
+#include "phch/core/tombstone_table.h"
 #include "phch/graph/generators.h"
 #include "phch/graph/graph.h"
 #include "phch/obs/export.h"
@@ -59,11 +69,41 @@ void check_insert_identity(const obs::metrics_snapshot& d) {
                 d[obs::counter::insert_aborts]);
 }
 
+// Table families selectable with -table. cap_mult scales the table sizing:
+// 2-choice cuckoo placement saturates at load 0.5, so it gets the paper's
+// two-tables'-worth of slots and every workload stays below threshold.
+struct det_family {
+  static constexpr std::size_t cap_mult = 1;
+  template <typename Tr> using table = deterministic_table<Tr>;
+};
+struct nd_family {
+  static constexpr std::size_t cap_mult = 1;
+  template <typename Tr> using table = nd_linear_table<Tr>;
+};
+struct tomb_family {
+  static constexpr std::size_t cap_mult = 1;
+  template <typename Tr> using table = tombstone_table<Tr>;
+};
+struct chained_family {
+  static constexpr std::size_t cap_mult = 1;
+  template <typename Tr> using table = chained_table<Tr, true>;
+};
+struct cuckoo_family {
+  static constexpr std::size_t cap_mult = 2;
+  template <typename Tr> using table = cuckoo_table<Tr>;
+};
+struct hopscotch_family {
+  static constexpr std::size_t cap_mult = 1;
+  template <typename Tr> using table = hopscotch_table<Tr, true>;
+};
+
+template <typename Family>
 obs::metrics_snapshot run_dedup(std::size_t n) {
   const auto seq = workloads::random_int_seq(n, 1);
   const obs::metrics_snapshot before = obs::snapshot();
-  const auto out = apps::remove_duplicates<deterministic_table<int_entry<>>>(
-      seq, round_up_pow2(2 * n));
+  const auto out =
+      apps::remove_duplicates<typename Family::template table<int_entry<>>>(
+          seq, Family::cap_mult * round_up_pow2(2 * n));
   const obs::metrics_snapshot d = obs::snapshot() - before;
   expect_eq("dedup insert_ops", d[obs::counter::insert_ops], n);
   expect_eq("dedup insert_commits", d[obs::counter::insert_commits], out.size());
@@ -74,12 +114,14 @@ obs::metrics_snapshot run_dedup(std::size_t n) {
   return d;
 }
 
+template <typename Family>
 obs::metrics_snapshot run_bfs(std::size_t n) {
   const auto edges = graph::random_k_edges(n, 5, 1);
   const auto g = graph::csr_graph::from_edges(n, edges);
   const obs::metrics_snapshot before = obs::snapshot();
-  const auto parents =
-      apps::hash_bfs<deterministic_table<int_entry<std::uint32_t>>>(g, 0);
+  const auto parents = apps::hash_bfs<
+      typename Family::template table<int_entry<std::uint32_t>>>(
+      g, 0, static_cast<double>(Family::cap_mult));
   const obs::metrics_snapshot d = obs::snapshot() - before;
   std::uint64_t reached = 0;
   for (const auto p : parents) {
@@ -93,13 +135,15 @@ obs::metrics_snapshot run_bfs(std::size_t n) {
   return d;
 }
 
+template <typename Family>
 obs::metrics_snapshot run_mixed(std::size_t n) {
   // Distinct nonzero keys so every op count has a closed-form reference.
   std::vector<std::uint64_t> keys(n);
   for (std::size_t i = 0; i < n; ++i) keys[i] = hash64(i + 1) | 1;
   std::vector<std::uint64_t> half(keys.begin(),
                                   keys.begin() + static_cast<long>(n / 2));
-  deterministic_table<int_entry<>> t(round_up_pow2(2 * n));
+  typename Family::template table<int_entry<>> t(Family::cap_mult *
+                                                 round_up_pow2(2 * n));
 
   const obs::metrics_snapshot before = obs::snapshot();
   obs::mark("mixed/start");
@@ -127,11 +171,27 @@ obs::metrics_snapshot run_mixed(std::size_t n) {
   return d;
 }
 
+// Returns false on an unknown workload name.
+template <typename Family>
+bool run_workload(const std::string& workload, std::size_t n) {
+  if (workload == "dedup") {
+    run_dedup<Family>(n);
+  } else if (workload == "bfs") {
+    run_bfs<Family>(n);
+  } else if (workload == "mixed") {
+    run_mixed<Family>(n);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cmdline cl(argc, argv);
   const std::string workload = cl.get_string("-workload", "dedup");
+  const std::string table = cl.get_string("-table", "det");
   const std::size_t n = static_cast<std::size_t>(cl.get_long("-n", 1000000));
   const std::string metrics_path = cl.get_string("-metrics", "phch_metrics.json");
   const std::string trace_path = cl.get_string("-trace", "phch_trace.json");
@@ -147,17 +207,31 @@ int main(int argc, char** argv) {
   const long threads = cl.get_long("-threads", 0);
   if (threads > 0) scheduler::get().set_num_workers(static_cast<int>(threads));
 
-  std::printf("phch_trace: workload=%s n=%zu threads=%d\n", workload.c_str(), n,
-              num_workers());
+  std::printf("phch_trace: workload=%s table=%s n=%zu threads=%d\n",
+              workload.c_str(), table.c_str(), n, num_workers());
   obs::reset();
 
-  if (workload == "dedup") {
-    run_dedup(n);
-  } else if (workload == "bfs") {
-    run_bfs(n);
-  } else if (workload == "mixed") {
-    run_mixed(n);
+  bool known_workload;
+  if (table == "det") {
+    known_workload = run_workload<det_family>(workload, n);
+  } else if (table == "nd") {
+    known_workload = run_workload<nd_family>(workload, n);
+  } else if (table == "tomb") {
+    known_workload = run_workload<tomb_family>(workload, n);
+  } else if (table == "chained") {
+    known_workload = run_workload<chained_family>(workload, n);
+  } else if (table == "cuckoo") {
+    known_workload = run_workload<cuckoo_family>(workload, n);
+  } else if (table == "hopscotch") {
+    known_workload = run_workload<hopscotch_family>(workload, n);
   } else {
+    std::fprintf(stderr,
+                 "phch_trace: unknown table '%s' (want det|nd|tomb|chained|"
+                 "cuckoo|hopscotch)\n",
+                 table.c_str());
+    return 1;
+  }
+  if (!known_workload) {
     std::fprintf(stderr, "phch_trace: unknown workload '%s'\n", workload.c_str());
     return 1;
   }
