@@ -159,6 +159,10 @@ class growable_table {
     return growths_.load(std::memory_order_relaxed);
   }
 
+  // Read-only view of the current flat table, for layout and tag-sidecar
+  // inspection at quiescent points (racy against a concurrent grow()).
+  const inner_table& inner() const noexcept { return *table_; }
+
  private:
   // Elements per growth-checked chunk of a batch insert. Small enough that
   // "fits under the occupancy ceiling" is checkable up front per chunk,

@@ -1,6 +1,7 @@
 // Shared helpers for the hash table implementations.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstring>
 #include <limits>
@@ -21,9 +22,10 @@ struct table_full_error : std::runtime_error {
   table_full_error() : std::runtime_error("phch: hash table is full") {}
 };
 
-// Smallest power of two >= n. Requests above the largest representable
-// power of two are rejected (the old loop spun forever once `c <<= 1`
-// overflowed to zero).
+// Smallest power of two >= n, via the single-instruction std::bit_ceil.
+// Requests above the largest representable power of two are rejected
+// (bit_ceil on such values is undefined, and the pre-bit_ceil shift loop
+// spun forever once `c <<= 1` overflowed to zero).
 inline std::size_t round_up_pow2(std::size_t n) {
   constexpr std::size_t k_max_pow2 =
       std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
@@ -31,9 +33,7 @@ inline std::size_t round_up_pow2(std::size_t n) {
     throw std::length_error("phch: requested capacity exceeds the largest "
                             "representable power of two");
   }
-  std::size_t c = 1;
-  while (c < n) c <<= 1;
-  return c;
+  return std::bit_ceil(n);
 }
 
 // Bitwise equality for trivially-copyable slot values (kv64 and friends have

@@ -1,0 +1,107 @@
+// The 1-byte-per-slot fingerprint sidecar for the open-addressing core.
+//
+// Each slot of a probe_engine gets one metadata byte:
+//
+//   0x00..0x7f   fingerprint: the top 7 bits of the key's hash. The home
+//                slot uses the hash's *low* bits, so fingerprint and
+//                placement are independent and a fingerprint collision
+//                between distinct co-resident keys has probability ~1/128.
+//   0x80         kEmpty     — the slot holds Traits::empty()
+//   0xfe         kTombstone — the slot holds Traits::busy() (tombstone
+//                             tables only)
+//
+// Both sentinels have the high bit set, so they can never collide with a
+// fingerprint; the probe loops in probe_engine.h / batch_ops.h scan groups
+// of these bytes with core/simd_scan.h and touch only candidate slots.
+//
+// The sidecar is an acceleration structure, not a source of truth:
+//
+//  * Writes are relaxed byte stores issued *after* the owning slot CAS
+//    commits. A reader may therefore see a stale byte; every conclusion a
+//    scan draws is either confirmed against the slot array (fingerprint
+//    match => load the slot and compare keys) or sound under the phase
+//    discipline (see the tagged-probe notes in probe_engine.h).
+//  * Tags are a pure function of the slot contents' key hash — no history.
+//    Determinism (Theorem 1) concerns the slot layout, which is untouched;
+//    the tags of equal layouts are equal by construction, and growth
+//    migration re-derives them on re-insert.
+//
+// Storage is 64-byte aligned (one cache line covers 64 slots' metadata)
+// and over-allocated to at least simd::kMaxGroupWidth bytes so a full
+// group load on a tiny table stays in bounds (the probe loops additionally
+// fall back to untagged scans when capacity < group width).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "phch/core/simd_scan.h"
+#include "phch/parallel/parallel_for.h"
+
+namespace phch {
+
+class tag_array {
+ public:
+  static constexpr std::uint8_t kEmpty = 0x80;
+  static constexpr std::uint8_t kTombstone = 0xfe;
+
+  // Top 7 bits of the hash. Table capacities stay far below 2^57 slots, so
+  // these bits never feed the home-slot index.
+  static constexpr std::uint8_t fingerprint(std::uint64_t hash) noexcept {
+    return static_cast<std::uint8_t>(hash >> 57);
+  }
+
+  explicit tag_array(std::size_t capacity)
+      : bytes_(capacity < kMinBytes ? kMinBytes : capacity),
+        tags_(allocate(bytes_)) {
+    clear();
+  }
+
+  const std::uint8_t* data() const noexcept { return tags_.get(); }
+
+  std::uint8_t load(std::size_t i) const noexcept {
+    return __atomic_load_n(&tags_[i], __ATOMIC_RELAXED);
+  }
+
+  // Relaxed publish; called only after the corresponding slot CAS commits.
+  void store(std::size_t i, std::uint8_t tag) noexcept {
+    __atomic_store_n(&tags_[i], tag, __ATOMIC_RELAXED);
+  }
+
+  void clear() {
+    if (bytes_ <= kSerialClearBytes) {
+      std::memset(tags_.get(), kEmpty, bytes_);
+      return;
+    }
+    blocked_for(0, bytes_, kSerialClearBytes,
+                [&](std::size_t, std::size_t s, std::size_t e) {
+                  std::memset(tags_.get() + s, kEmpty, e - s);
+                });
+  }
+
+ private:
+  static constexpr std::size_t kMinBytes =
+      simd::kMaxGroupWidth < 64 ? 64 : simd::kMaxGroupWidth;
+  // One byte per slot is 8-16x denser than the slots themselves; the
+  // serial-clear threshold scales accordingly (cf. kSerialClearThreshold).
+  static constexpr std::size_t kSerialClearBytes = std::size_t{1} << 16;
+  static constexpr std::align_val_t kTagAlign{64};
+
+  struct aligned_delete {
+    void operator()(std::uint8_t* p) const noexcept {
+      ::operator delete(static_cast<void*>(p), kTagAlign);
+    }
+  };
+
+  static std::uint8_t* allocate(std::size_t n) {
+    return static_cast<std::uint8_t*>(::operator new(n, kTagAlign));
+  }
+
+  std::size_t bytes_;
+  std::unique_ptr<std::uint8_t[], aligned_delete> tags_;
+};
+
+}  // namespace phch

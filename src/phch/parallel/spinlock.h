@@ -6,17 +6,9 @@
 #include <atomic>
 #include <thread>
 
-#if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>
-#endif
+#include "phch/utils/arch.h"  // cpu_relax
 
 namespace phch {
-
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  _mm_pause();
-#endif
-}
 
 class spinlock {
  public:

@@ -1,0 +1,382 @@
+// The SIMD fingerprint sidecar: backend equality (every compiled group-scan
+// backend returns the exact masks of a byte-wise reference), tag/slot
+// consistency after mixed phased workloads on all four ordering x delete
+// policy pairs and the six paper distributions, layout/result equivalence
+// between tagged and untagged probing under the runtime-override knob, and
+// the small-table / garbage-full edge cases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "phch/core/batch_ops.h"
+#include "phch/core/deterministic_table.h"
+#include "phch/core/growable_table.h"
+#include "phch/core/nd_linear_table.h"
+#include "phch/core/simd_scan.h"
+#include "phch/core/tag_array.h"
+#include "phch/core/tombstone_table.h"
+#include "phch/utils/rand.h"
+#include "phch/workloads/sequences.h"
+#include "phch/workloads/trigram.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+// The fourth policy pair has no named alias; instantiate the engine.
+template <typename Traits>
+using prio_tombstone_table =
+    probe_engine<Traits, unchecked_phases, prioritized_order, tombstone_delete>;
+
+// Every backend this build can execute (off excluded).
+std::vector<simd::backend> compiled_backends() {
+  std::vector<simd::backend> v{simd::backend::swar};
+  for (const simd::backend b :
+       {simd::backend::sse2, simd::backend::neon, simd::backend::avx2}) {
+    if (simd::available(b)) v.push_back(b);
+  }
+  return v;
+}
+
+// Restores the process-wide backend a test overrode.
+struct backend_guard {
+  simd::backend prev = simd::active();
+  ~backend_guard() { simd::set_backend(prev); }
+};
+
+// Byte-wise reference the vector backends must match exactly.
+simd::group_masks reference_scan(const std::uint8_t* g, std::size_t w,
+                                 std::uint8_t match_tag, std::uint8_t empty_tag) {
+  simd::group_masks r;
+  for (std::size_t i = 0; i < w; ++i) {
+    if (g[i] == match_tag) r.match |= 1u << i;
+    if (g[i] == empty_tag) r.empty |= 1u << i;
+  }
+  return r;
+}
+
+// --- simd_scan backend equality -------------------------------------------
+
+TEST(SimdScan, BackendsMatchReferenceOnRandomBlocks) {
+  alignas(64) std::uint8_t block[64];
+  const auto backends = compiled_backends();
+  for (std::uint64_t trial = 0; trial < 512; ++trial) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      // Mix fingerprints with both sentinels so the masks exercise every
+      // byte class; bias toward repeats so groups have multiple matches.
+      const std::uint64_t r = hash64(trial * 64 + i);
+      const std::uint8_t fp = static_cast<std::uint8_t>(r % 8);  // 0..7
+      block[i] = (r % 5 == 0)   ? tag_array::kEmpty
+                 : (r % 7 == 0) ? tag_array::kTombstone
+                                : fp;
+    }
+    const std::uint8_t probe = static_cast<std::uint8_t>(hash64(trial) % 8);
+    for (const simd::backend b : backends) {
+      const std::size_t w = simd::group_width(b);
+      for (std::size_t g = 0; g + w <= 64; g += w) {
+        const simd::group_masks got =
+            simd::scan_group(block + g, probe, tag_array::kEmpty, b);
+        const simd::group_masks want =
+            reference_scan(block + g, w, probe, tag_array::kEmpty);
+        ASSERT_EQ(got.match, want.match)
+            << simd::backend_name(b) << " trial " << trial << " group " << g;
+        ASSERT_EQ(got.empty, want.empty)
+            << simd::backend_name(b) << " trial " << trial << " group " << g;
+      }
+    }
+  }
+}
+
+// The SWAR zero-byte detector must be exact: the classic haszero trick
+// reports spurious matches in bytes above the lowest true match, which
+// would desynchronize SWAR from the vector backends' movemask.
+TEST(SimdScan, SwarIsExactAboveTheLowestMatch) {
+  alignas(64) std::uint8_t g[8] = {0x11, 0x22, 0x11, 0x33, 0x11, 0x44, 0x55, 0x11};
+  const simd::group_masks m =
+      simd::scan_group(g, 0x11, tag_array::kEmpty, simd::backend::swar);
+  EXPECT_EQ(m.match, 0b10010101u);
+  EXPECT_EQ(m.empty, 0u);
+}
+
+TEST(SimdScan, WidthsAndNames) {
+  EXPECT_EQ(simd::group_width(simd::backend::swar), 8u);
+  EXPECT_EQ(simd::group_width(simd::backend::sse2), 16u);
+  EXPECT_EQ(simd::group_width(simd::backend::neon), 16u);
+  EXPECT_EQ(simd::group_width(simd::backend::avx2), 32u);
+  EXPECT_EQ(simd::group_width(simd::backend::off), 0u);
+  EXPECT_STREQ(simd::backend_name(simd::backend::swar), "swar");
+  EXPECT_LE(simd::group_width(simd::best()), simd::kMaxGroupWidth);
+}
+
+TEST(SimdScan, RuntimeOverrideKnob) {
+  backend_guard guard;
+  EXPECT_EQ(simd::set_backend(simd::backend::swar), simd::backend::swar);
+  EXPECT_EQ(simd::active(), simd::backend::swar);
+  EXPECT_EQ(simd::set_backend(simd::backend::off), simd::backend::off);
+  EXPECT_FALSE(simd::usable(simd::backend::off, 1 << 20));
+  // Unavailable requests clamp to the widest available backend.
+  for (const simd::backend b :
+       {simd::backend::sse2, simd::backend::neon, simd::backend::avx2}) {
+    if (!simd::available(b)) {
+      EXPECT_EQ(simd::set_backend(b), simd::best());
+    }
+  }
+  // A backend never drives a table smaller than its group.
+  EXPECT_FALSE(simd::usable(simd::backend::swar, 4));
+  EXPECT_TRUE(simd::usable(simd::backend::swar, 8));
+}
+
+// --- tag/slot consistency --------------------------------------------------
+
+template <typename Table>
+void expect_tags_consistent(const Table& t) {
+  using Traits = typename Table::traits;
+  const auto* slots = t.raw_slots();
+  const std::uint8_t* tags = t.raw_tags();
+  for (std::size_t i = 0; i < t.capacity(); ++i) {
+    const auto c = slots[i];
+    if (Traits::is_empty(c)) {
+      ASSERT_EQ(tags[i], tag_array::kEmpty) << "slot " << i;
+    } else if (!Table::is_present(c)) {
+      ASSERT_EQ(tags[i], tag_array::kTombstone) << "slot " << i;
+    } else {
+      ASSERT_EQ(tags[i], tag_array::fingerprint(Traits::hash(Traits::key(c))))
+          << "slot " << i;
+    }
+  }
+}
+
+// Mixed phased workload: insert two waves, erase a slice, look everything
+// up, then check every tag byte against its slot. Runs under each compiled
+// backend via the runtime knob (scalar per-op phases + batched phases).
+template <typename Table, typename Seq, typename KeyOf>
+void run_consistency_fuzz(std::size_t capacity, const Seq& seq, KeyOf key_of) {
+  for (const simd::backend b : compiled_backends()) {
+    backend_guard guard;
+    simd::set_backend(b);
+    Table t(capacity);
+    const std::size_t half = seq.size() / 2;
+    test::parallel_insert(t, Seq(seq.begin(), seq.begin() + half));
+    std::vector<typename Table::key_type> dels;
+    for (std::size_t i = 0; i < half; i += 3) dels.push_back(key_of(seq[i]));
+    test::parallel_erase(t, dels);
+    expect_tags_consistent(t);
+    test::parallel_insert(t, Seq(seq.begin() + half, seq.end()));
+    for (std::size_t i = 0; i < seq.size(); i += 7) {
+      (void)t.find(key_of(seq[i]));
+    }
+    expect_tags_consistent(t);
+    // Batched phases drive the tagged AMAC engines over the same sidecar.
+    erase_batch(t, dels);
+    insert_batch(t, std::vector<typename Table::value_type>(
+                        seq.begin(), seq.begin() + half));
+    expect_tags_consistent(t);
+  }
+}
+
+TEST(TagConsistency, RandomIntAllFourPolicyPairs) {
+  const auto seq = workloads::random_int_seq(20000, 21);
+  const auto key = [](std::uint64_t k) { return k; };
+  run_consistency_fuzz<deterministic_table<int_entry<>>>(1 << 16, seq, key);
+  run_consistency_fuzz<nd_linear_table<int_entry<>>>(1 << 16, seq, key);
+  run_consistency_fuzz<tombstone_table<int_entry<>>>(1 << 16, seq, key);
+  run_consistency_fuzz<prio_tombstone_table<int_entry<>>>(1 << 16, seq, key);
+}
+
+TEST(TagConsistency, ExptInt) {
+  const auto seq = workloads::expt_int_seq(20000, 22);
+  const auto key = [](std::uint64_t k) { return k; };
+  run_consistency_fuzz<deterministic_table<int_entry<>>>(1 << 16, seq, key);
+  run_consistency_fuzz<tombstone_table<int_entry<>>>(1 << 16, seq, key);
+}
+
+TEST(TagConsistency, RandomPairInt) {
+  const auto seq = workloads::random_pair_seq(16000, 23);
+  const auto key = [](kv64 v) { return v.k; };
+  run_consistency_fuzz<deterministic_table<pair_entry<combine_add>>>(1 << 15, seq,
+                                                                     key);
+  run_consistency_fuzz<nd_linear_table<pair_entry<combine_add>>>(1 << 15, seq,
+                                                                 key);
+}
+
+TEST(TagConsistency, ExptPairInt) {
+  const auto seq = workloads::expt_pair_seq(16000, 24);
+  const auto key = [](kv64 v) { return v.k; };
+  run_consistency_fuzz<deterministic_table<pair_entry<combine_add>>>(1 << 15, seq,
+                                                                     key);
+}
+
+TEST(TagConsistency, TrigramString) {
+  const auto words = workloads::trigram_string_seq(8000, 25);
+  const auto key = [](const char* s) { return s; };
+  run_consistency_fuzz<deterministic_table<string_entry>>(1 << 15, words.keys,
+                                                          key);
+}
+
+TEST(TagConsistency, TrigramPairInt) {
+  const auto words = workloads::trigram_pair_seq(8000, 26);
+  const auto key = [](const string_kv* r) { return r->key; };
+  run_consistency_fuzz<deterministic_table<string_pair_entry>>(1 << 15,
+                                                               words.entries, key);
+}
+
+// --- tagged vs untagged equivalence ---------------------------------------
+
+template <typename Table>
+void expect_same_layout(const Table& a, const Table& b) {
+  ASSERT_EQ(a.capacity(), b.capacity());
+  for (std::size_t s = 0; s < a.capacity(); ++s) {
+    ASSERT_TRUE(bits_equal(a.raw_slots()[s], b.raw_slots()[s])) << "slot " << s;
+  }
+}
+
+// The tagged probe loops must leave layouts bit-identical to the untagged
+// scalar loops and return the same find results, on every policy pair.
+// Ops run serially so both tables see the identical op order: arrival-order
+// layouts depend on thread interleaving, which would make a parallel-built
+// comparison meaningless.  Parallel coverage lives in the TagConsistency
+// fuzzers above.
+template <typename Table>
+void run_equivalence(std::size_t capacity) {
+  const auto keys = test::dup_keys(12000, 9000, 31);
+  std::vector<std::uint64_t> queries = test::unique_keys(2000, 32);
+  queries.insert(queries.end(), keys.begin(), keys.begin() + 2000);
+  std::vector<std::uint64_t> dels(keys.begin() + 100, keys.begin() + 3100);
+
+  backend_guard guard;
+  simd::set_backend(simd::backend::off);
+  Table untagged(capacity);
+  for (const auto& k : keys) untagged.insert(k);
+  const auto want = find_batch_scalar(untagged, queries);
+  for (const auto& k : dels) untagged.erase(k);
+
+  for (const simd::backend b : compiled_backends()) {
+    simd::set_backend(b);
+    Table tagged(capacity);
+    for (const auto& k : keys) tagged.insert(k);
+    const auto got = find_batch_scalar(tagged, queries);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(bits_equal(got[i], want[i]))
+          << simd::backend_name(b) << " query " << i;
+    }
+    for (const auto& k : dels) tagged.erase(k);
+    expect_same_layout(tagged, untagged);
+    expect_tags_consistent(tagged);
+  }
+}
+
+TEST(TaggedEquivalence, Deterministic) {
+  run_equivalence<deterministic_table<int_entry<>>>(1 << 15);
+}
+TEST(TaggedEquivalence, NdLinear) {
+  run_equivalence<nd_linear_table<int_entry<>>>(1 << 15);
+}
+TEST(TaggedEquivalence, Tombstone) {
+  run_equivalence<tombstone_table<int_entry<>>>(1 << 15);
+}
+TEST(TaggedEquivalence, PrioritizedTombstone) {
+  run_equivalence<prio_tombstone_table<int_entry<>>>(1 << 15);
+}
+
+// Batched tagged engines against the batched untagged engines.
+TEST(TaggedEquivalence, BatchedEnginesMatch) {
+  const auto keys = test::dup_keys(20000, 12000, 41);
+  std::vector<std::uint64_t> queries(keys.begin(), keys.begin() + 4000);
+  queries.push_back(999999999ULL);  // absent
+  const std::vector<std::uint64_t> dels(keys.begin(), keys.begin() + 5000);
+
+  backend_guard guard;
+  simd::set_backend(simd::backend::off);
+  deterministic_table<int_entry<>> base(1 << 16);
+  insert_batch(base, keys);
+  const auto want = find_batch(base, queries);
+  erase_batch(base, dels);
+
+  for (const simd::backend b : compiled_backends()) {
+    simd::set_backend(b);
+    deterministic_table<int_entry<>> t(1 << 16);
+    insert_batch(t, keys);
+    const auto got = find_batch(t, queries);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << simd::backend_name(b);
+    }
+    erase_batch(t, dels);
+    expect_same_layout(t, base);
+    expect_tags_consistent(t);
+  }
+}
+
+// --- growth migration ------------------------------------------------------
+
+TEST(TagConsistency, GrowableMigrationRederivesTags) {
+  for (const simd::backend b : compiled_backends()) {
+    backend_guard guard;
+    simd::set_backend(b);
+    growable_table<int_entry<>> g(1 << 8);
+    const auto keys = test::unique_keys(20000, 51);
+    insert_batch(g, keys);
+    EXPECT_GT(g.capacity(), std::size_t{1} << 8);  // grew (and migrated)
+    expect_tags_consistent(g.inner());
+    for (const auto k : keys) ASSERT_TRUE(g.contains(k));
+  }
+}
+
+// --- edge cases ------------------------------------------------------------
+
+// Tables smaller than a group fall back to untagged probing but still
+// maintain their tags.
+TEST(TagEdge, TinyTableFallsBack) {
+  backend_guard guard;
+  simd::set_backend(simd::best());
+  deterministic_table<int_entry<>> t(4);
+  t.insert(1);
+  t.insert(2);
+  t.insert(3);
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_FALSE(t.contains(9));
+  t.erase(2);
+  EXPECT_FALSE(t.contains(2));
+  expect_tags_consistent(t);
+}
+
+// A tombstone table whose every slot is garbage: bounded probes must
+// resolve finds and erases of absent keys as misses (full tag-group wrap)
+// instead of spinning, and inserts must report the table full exactly like
+// the untagged loop does (tombstones are never reused — the
+// footprint-only-grows policy).
+TEST(TagEdge, GarbageFullTombstoneTableStaysBounded) {
+  for (const simd::backend b : compiled_backends()) {
+    backend_guard guard;
+    simd::set_backend(b);
+    tombstone_table<int_entry<>> t(16);
+    bool filled = false;
+    for (std::uint64_t k = 1; !filled; ++k) {
+      try {
+        t.insert(k);
+      } catch (const std::exception&) {
+        filled = true;  // every slot is now a tombstone
+        break;
+      }
+      t.erase(k);
+    }
+    EXPECT_TRUE(filled);
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_FALSE(t.contains(12345));  // must terminate, not throw
+    t.erase(54321);                   // ditto
+    expect_tags_consistent(t);
+  }
+}
+
+// clear() resets the sidecar along with the slots.
+TEST(TagEdge, ClearResetsTags) {
+  deterministic_table<int_entry<>> t(1 << 10);
+  test::parallel_insert(t, test::unique_keys(500, 61));
+  t.clear();
+  expect_tags_consistent(t);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+}  // namespace
+}  // namespace phch

@@ -5,9 +5,10 @@
 #
 #   tools/check_headers.sh [compiler]
 #
-# Every header (including src/phch/obs/) is compiled twice: once with the
-# default configuration and once with -DPHCH_TELEMETRY=1, so both sides of
-# the telemetry compile-time gate stay self-contained.
+# Every header (including src/phch/obs/) is compiled four times: with and
+# without -DPHCH_TELEMETRY=1, each with and without -DPHCH_FORCE_SWAR=1, so
+# both sides of the telemetry gate and both SIMD configurations (vector
+# backends compiled in / SWAR only) stay self-contained.
 #
 # Exits nonzero listing every header/configuration that fails.
 set -u
@@ -18,15 +19,18 @@ failures=0
 checked=0
 
 while IFS= read -r header; do
-  for extra in "" "-DPHCH_TELEMETRY=1"; do
-    checked=$((checked + 1))
-    # shellcheck disable=SC2086  # $extra is intentionally word-split
-    if ! "$cxx" -std=c++20 -fsyntax-only -I"$root/src" $extra -x c++ "$header" \
-        2>/tmp/hdr_err.$$; then
-      echo "NOT SELF-CONTAINED${extra:+ ($extra)}: ${header#"$root"/}"
-      sed 's/^/    /' </tmp/hdr_err.$$ | head -15
-      failures=$((failures + 1))
-    fi
+  for tele in "" "-DPHCH_TELEMETRY=1"; do
+    for simd in "" "-DPHCH_FORCE_SWAR=1"; do
+      extra="$tele $simd"
+      checked=$((checked + 1))
+      # shellcheck disable=SC2086  # $extra is intentionally word-split
+      if ! "$cxx" -std=c++20 -fsyntax-only -I"$root/src" $extra -x c++ "$header" \
+          2>/tmp/hdr_err.$$; then
+        echo "NOT SELF-CONTAINED (${extra# }): ${header#"$root"/}"
+        sed 's/^/    /' </tmp/hdr_err.$$ | head -15
+        failures=$((failures + 1))
+      fi
+    done
   done
 done < <(find "$root/src/phch" -name '*.h' | sort)
 
