@@ -15,6 +15,13 @@
 //     paper's future-work item) vs caller-separated phases.
 //  8. Batched operations with software prefetch (core/batch_ops.h) vs plain
 //     per-op loops — memory-level parallelism for the phase-batch pattern.
+//  9. Phase-epoch runtime: room-transition cost on mixed auto_phased
+//     streams (single-class vs alternating-class, telemetry on/off when
+//     compiled) and deferred vs immediate reclamation on a growth-heavy
+//     insert loop. This section also writes BENCH_phase.json (or argv[1])
+//     for the CI artifact.
+#include <cinttypes>
+#include <cstdio>
 #include <optional>
 
 #include "bench_common.h"
@@ -24,13 +31,17 @@
 #include "phch/core/growable_table.h"
 #include "phch/core/nd_linear_table.h"
 #include "phch/core/tombstone_table.h"
+#include "phch/obs/export.h"
+#include "phch/obs/telemetry.h"
 #include "phch/parallel/parallel_for.h"
+#include "phch/parallel/reclaim.h"
 #include "phch/workloads/sequences.h"
 
 using namespace phch;
 using namespace phch::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_phase.json";
   const std::size_t n = scaled_size(1000000);
   std::printf("Ablations (n = %zu, threads = %d)\n", n, num_workers());
 
@@ -207,6 +218,110 @@ int main() {
                 plain_ins / batch_ins);
     std::printf("  find:   plain %8.3f s, batch %8.3f s (%.2fx)\n", plain_find,
                 batch_find, plain_find / batch_find);
+  }
+
+  // 9. phase-epoch runtime: room-transition cost and reclamation ablation
+  {
+    std::printf("\n--- phase-epoch runtime: room transitions and reclamation ---\n");
+    const std::size_t m = n / 8;
+    const std::size_t cap = round_up_pow2(4 * m);
+    const auto keys = workloads::random_int_seq(m, 9);
+    using apt = auto_phased_table<deterministic_table<int_entry<>>>;
+
+    // Single-class stream: every operation enters the same room, so the
+    // whole run is one phase transition — the room fast path.
+    std::optional<apt> t;
+    const double single_s = time_median(
+        [&] { t.emplace(cap); },
+        [&] { parallel_for(0, m, [&](std::size_t i) { t->insert(keys[i]); }); });
+
+    // Alternating-class stream: concurrent inserts and finds with no caller
+    // phasing force the rooms to drain and hand over continually — the
+    // worst case for automatic phasing, and the stream that prices a room
+    // transition. The wrapped table's phase epoch counts the transitions.
+    const std::uint64_t waits_before = obs::total(obs::counter::room_waits);
+    const auto alternating = [&] {
+      parallel_for(0, m, [&](std::size_t i) {
+        if ((i & 1) != 0) {
+          t->insert(keys[i]);
+        } else {
+          (void)t->contains(keys[i]);
+        }
+      });
+    };
+    const double alt_s = time_median([&] { t.emplace(cap); }, alternating);
+    const std::uint64_t transitions = t->underlying().phase_rt().epoch();
+    const std::uint64_t room_waits =
+        obs::total(obs::counter::room_waits) - waits_before;
+    std::printf("  single-class %8.3f s, alternating %8.3f s (%.2fx; final run "
+                "crossed %" PRIu64 " phase boundaries)\n",
+                single_s, alt_s, alt_s / single_s, transitions);
+
+    // Telemetry cost on the transition-heavy stream (when compiled in, each
+    // boundary also feeds a striped counter and the trace ring).
+    double tele_on_s = 0.0, tele_off_s = 0.0;
+    if (obs::compiled) {
+      const bool was = obs::enabled();
+      obs::set_enabled(false);
+      tele_off_s = time_median([&] { t.emplace(cap); }, alternating);
+      obs::set_enabled(true);
+      tele_on_s = time_median([&] { t.emplace(cap); }, alternating);
+      obs::set_enabled(was);
+      std::printf("  alternating w/ telemetry off %8.3f s, on %8.3f s (%.2fx)\n",
+                  tele_off_s, tele_on_s, tele_on_s / tele_off_s);
+    } else {
+      std::printf("  (telemetry compiled out; rebuild with -DPHCH_TELEMETRY=ON "
+                  "for the on/off split)\n");
+    }
+
+    // Reclamation ablation: growth-heavy inserts with deferred reclamation
+    // (production) vs immediate free (the pre-reclaim lifetime discipline).
+    // Immediate free is safe *here only* because the stream is insert-only:
+    // grow() drains in-flight writers before it retires the old array, and
+    // no finds run concurrently, so nobody can still hold the old pointer.
+    const auto rs_before = reclaim::stats();
+    std::optional<growable_table<int_entry<>>> g;
+    const auto grow_insert = [&] {
+      parallel_for(0, m, [&](std::size_t i) { g->insert(keys[i]); });
+    };
+    const double reclaim_deferred_s = time_median([&] { g.emplace(1024); }, grow_insert);
+    const bool prev_deferred = reclaim::set_deferred(false);
+    const double reclaim_immediate_s = time_median([&] { g.emplace(1024); }, grow_insert);
+    reclaim::set_deferred(prev_deferred);
+    const auto rs_after = reclaim::stats();
+    std::printf("  growable inserts: reclaim deferred %8.3f s, immediate %8.3f s "
+                "(%.2fx, %" PRIu64 " arrays retired)\n",
+                reclaim_deferred_s, reclaim_immediate_s,
+                reclaim_deferred_s / reclaim_immediate_s,
+                rs_after.retired - rs_before.retired);
+
+    FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"phase_ablation\",\n");
+    std::fprintf(f, "  \"n\": %zu,\n  \"threads\": %d,\n", m, num_workers());
+    std::fprintf(f,
+                 "  \"room\": {\"single_class_s\": %.6f, \"alternating_s\": %.6f, "
+                 "\"transitions\": %" PRIu64 ", \"room_waits\": %" PRIu64 "},\n",
+                 single_s, alt_s, transitions, room_waits);
+    std::fprintf(f,
+                 "  \"telemetry\": {\"compiled\": %s, \"off_s\": %.6f, "
+                 "\"on_s\": %.6f},\n",
+                 obs::compiled ? "true" : "false", tele_off_s, tele_on_s);
+    std::fprintf(f,
+                 "  \"reclaim\": {\"deferred_s\": %.6f, \"immediate_s\": %.6f, "
+                 "\"retired\": %" PRIu64 ", \"freed\": %" PRIu64
+                 ", \"pending\": %zu},\n",
+                 reclaim_deferred_s, reclaim_immediate_s,
+                 rs_after.retired - rs_before.retired,
+                 rs_after.freed - rs_before.freed, rs_after.pending);
+    std::fprintf(f, "  \"counters\": ");
+    obs::write_counters_json(f, obs::snapshot(), "  ");
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", json_path);
   }
   return 0;
 }

@@ -4,6 +4,23 @@
 // any thread. Operations of one class still run fully concurrently; the
 // rooms serialize only the transitions between classes.
 //
+// Phase epoch: each room entry announces its class to the wrapped table's
+// phase_runtime (core/phase_runtime.h), so a room transition advances the
+// same monotone epoch every scalar and batch scope uses — the room word in
+// room_sync stays pure occupancy control, and the trace ledger shows one
+// phase_begin event per actual transition (validated by `phch_trace -table
+// auto`). The announcement is idempotent with the operation's own scope
+// (same class, no second edge), and for elements()/count() — which scan raw
+// slots without entering an operation scope — it is the only announcement.
+//
+// Reclamation guarantee: completing an operation on this wrapper is a
+// reclamation quiescent point for the calling thread (parallel/reclaim.h).
+// Room transitions are therefore grace-period edges: memory retired before
+// a transition is freed once every participating thread has completed an
+// operation (or otherwise announced quiescence) after it. Callers must not
+// invoke these operations while holding raw pointers into reclaim-protected
+// structures (e.g. a growable_table's inner table or raw_slots view).
+//
 // Determinism caveat (inherent, not an implementation artifact): automatic
 // phasing makes mixing *safe*, but the induced phase boundaries depend on
 // arrival timing, so a mixed workload is NOT deterministic — exactly why the
@@ -17,6 +34,7 @@
 
 #include "phch/core/deterministic_table.h"
 #include "phch/core/table_concepts.h"
+#include "phch/parallel/reclaim.h"
 #include "phch/parallel/room_sync.h"
 
 namespace phch {
@@ -42,23 +60,43 @@ class auto_phased_table {
   std::size_t capacity() const noexcept { return table_.capacity(); }
 
   void insert(value_type v) {
-    room_sync::guard g(rooms_, kInsertRoom);
-    table_.insert(v);
+    {
+      room_sync::guard g(rooms_, kInsertRoom);
+      note_room(op_kind::insert);
+      table_.insert(v);
+    }
+    reclaim::quiescent();  // see reclamation guarantee above
   }
 
   void erase(key_type k) {
-    room_sync::guard g(rooms_, kEraseRoom);
-    table_.erase(k);
+    {
+      room_sync::guard g(rooms_, kEraseRoom);
+      note_room(op_kind::erase);
+      table_.erase(k);
+    }
+    reclaim::quiescent();
   }
 
   value_type find(key_type k) const {
-    room_sync::guard g(rooms_, kQueryRoom);
-    return table_.find(k);
+    value_type r;
+    {
+      room_sync::guard g(rooms_, kQueryRoom);
+      note_room(op_kind::query);
+      r = table_.find(k);
+    }
+    reclaim::quiescent();
+    return r;
   }
 
   bool contains(key_type k) const {
-    room_sync::guard g(rooms_, kQueryRoom);
-    return table_.contains(k);
+    bool r;
+    {
+      room_sync::guard g(rooms_, kQueryRoom);
+      note_room(op_kind::query);
+      r = table_.contains(k);
+    }
+    reclaim::quiescent();
+    return r;
   }
 
   // elements() and count() scan the slots *serially* here: running a
@@ -67,23 +105,31 @@ class auto_phased_table {
   // caller-separated phases, use the underlying table's parallel
   // elements().)
   std::vector<value_type> elements() const {
-    room_sync::guard g(rooms_, kQueryRoom);
-    using traits = typename Table::traits;
     std::vector<value_type> out;
-    const value_type* slots = table_.raw_slots();
-    for (std::size_t s = 0; s < table_.capacity(); ++s) {
-      if (!traits::is_empty(slots[s])) out.push_back(slots[s]);
+    {
+      room_sync::guard g(rooms_, kQueryRoom);
+      note_room(op_kind::query);
+      using traits = typename Table::traits;
+      const value_type* slots = table_.raw_slots();
+      for (std::size_t s = 0; s < table_.capacity(); ++s) {
+        if (!traits::is_empty(slots[s])) out.push_back(slots[s]);
+      }
     }
+    reclaim::quiescent();
     return out;
   }
 
   // Count is a query (shares the find/elements room).
   std::size_t count() const {
-    room_sync::guard g(rooms_, kQueryRoom);
-    using traits = typename Table::traits;
     std::size_t c = 0;
-    const value_type* slots = table_.raw_slots();
-    for (std::size_t s = 0; s < table_.capacity(); ++s) c += !traits::is_empty(slots[s]);
+    {
+      room_sync::guard g(rooms_, kQueryRoom);
+      note_room(op_kind::query);
+      using traits = typename Table::traits;
+      const value_type* slots = table_.raw_slots();
+      for (std::size_t s = 0; s < table_.capacity(); ++s) c += !traits::is_empty(slots[s]);
+    }
+    reclaim::quiescent();
     return c;
   }
 
@@ -95,6 +141,13 @@ class auto_phased_table {
   static constexpr int kInsertRoom = 0;
   static constexpr int kEraseRoom = 1;
   static constexpr int kQueryRoom = 2;
+
+  // Announces the room's class to the wrapped table's phase epoch. The
+  // first entrant after a room transition wins the exactly-once edge;
+  // same-room entrants see one relaxed load.
+  void note_room(op_kind k) const {
+    if constexpr (phase_epoch_table<Table>) table_.phase_rt().on_op(k);
+  }
 
   Table table_;
   mutable room_sync rooms_;

@@ -845,6 +845,12 @@ void erase_batch_prefetch(Table& t, const std::vector<K>& keys) {
 // Public batch API. Dispatch order: a table with its own batch members is
 // forwarded to (growable_table interleaves growth checks); a batchable
 // table runs the pipelined engine; everything else gets the scalar loop.
+//
+// Each whole batch opens exactly one of the table's batch_*_scope()s, which
+// are Phase::scope instances over the table's phase_runtime
+// (core/phase_runtime.h): a batch announces its class to the same
+// phase-state word scalar operations use, so a batch that starts a new
+// phase advances the table's epoch exactly once, at the batch boundary.
 // ---------------------------------------------------------------------------
 
 // Pointer-range inserts: the building block the wrappers chunk over.

@@ -332,6 +332,10 @@ class chained_table {
 
   // Batch-engine phase hooks: one scope spanning a whole batch, so
   // checked_phases observes batched traffic it would otherwise miss.
+  // phase_rt() is the table's single phase-state word (phase epoch +
+  // current class, core/phase_runtime.h), shared by scalar and batch scopes.
+  phase_runtime& phase_rt() const noexcept { return phase_.runtime(); }
+
   typename Phase::scope batch_query_scope() const {
     return typename Phase::scope(phase_, op_kind::query);
   }

@@ -15,11 +15,24 @@
 // Divergence from the paper's sketch, documented here: the paper migrates
 // *incrementally* (each insert copies two elements and both tables stay
 // live), which requires finds/deletes to consult both tables. We instead
-// drain in-flight inserts and migrate completely before new inserts
-// proceed — a stop-the-world-per-phase variant that keeps exactly one live
+// drain in-flight *inserts* and migrate completely before new inserts
+// proceed — a stop-the-insert-phase variant that keeps exactly one live
 // table, preserves determinism trivially, and has the same amortized cost.
 // Only inserts can trigger growth; finds and deletes see a single table, as
 // in the paper.
+//
+// Lifetime of the old slot array: the table pointer is an atomic that grow()
+// publishes with a release store, and the superseded table is handed to
+// quiescence-based reclamation (parallel/reclaim.h) instead of being deleted
+// in place. Readers therefore need no exclusion at all — a find may still be
+// probing the old array while the swap happens and simply completes against
+// a stale (but alive and immutable-to-it) table; the array is freed only
+// after every participating thread has passed a quiescent point. This
+// removes the old "all reads must happen inside the enter()/leave() window"
+// seam: enter()/leave() now gates *writers only*, because a migration must
+// observe every committed insert. Each public operation runs under a
+// reclaim::op_guard, which registers the thread before the first pointer
+// load and announces one quiescent point when the operation ends.
 //
 // The wrapper implements its own insert_batch/find_batch/erase_batch, so
 // the free batch functions (core/batch_ops.h) forward to it
@@ -39,6 +52,7 @@
 #include "phch/core/deterministic_table.h"
 #include "phch/core/table_concepts.h"
 #include "phch/obs/trace.h"
+#include "phch/parallel/reclaim.h"
 #include "phch/parallel/spinlock.h"  // cpu_relax
 
 namespace phch {
@@ -58,30 +72,48 @@ class growable_table {
   explicit growable_table(std::size_t initial_capacity = 1024,
                           std::size_t probe_limit_factor = 16)
       : probe_limit_factor_(probe_limit_factor),
-        table_(std::make_unique<inner_table>(initial_capacity)) {}
+        table_(new inner_table(initial_capacity)) {}
 
-  std::size_t capacity() const noexcept { return table_->capacity(); }
-  std::size_t count() const { return table_->count(); }
+  growable_table(const growable_table&) = delete;
+  growable_table& operator=(const growable_table&) = delete;
+
+  // The destructor deletes only the *current* table; superseded tables are
+  // already in reclaim limbo and are freed when their grace period passes
+  // (at the latest, at process teardown — LeakSanitizer-clean either way).
+  ~growable_table() { delete table_.load(std::memory_order_relaxed); }
+
+  std::size_t capacity() const noexcept {
+    reclaim::op_guard qp;
+    return cur()->capacity();
+  }
+  std::size_t count() const {
+    reclaim::op_guard qp;
+    return cur()->count();
+  }
 
   // The inner table's striped occupancy counter (exact at phase boundaries),
   // surfaced so callers see the same size API on the wrapper as on the flat
   // tables.
-  std::size_t approx_size() const noexcept { return table_->approx_size(); }
+  std::size_t approx_size() const noexcept {
+    reclaim::op_guard qp;
+    return cur()->approx_size();
+  }
 
   void insert(value_type v) {
     using result = typename inner_table::insert_result;
+    reclaim::op_guard qp;
     for (;;) {
       enter();
       result r;
       std::size_t cap;
       bool crowded = false;
       try {
-        // All reads of *table_ happen inside the enter()/leave() window: a
-        // concurrent grow() swaps the unique_ptr only after draining the
-        // active count, so reading capacity or the striped counter after
-        // leave() would race with the swap.
-        cap = table_->capacity();
-        r = table_->insert_bounded(v, probe_limit(cap));
+        // Writers resolve the table pointer inside the enter()/leave()
+        // window so a migration observes every committed insert (grow()
+        // drains the active count before packing the old contents).
+        inner_table* t = cur();
+        cap = t->capacity();
+        r = t->insert_bounded(v, probe_limit(cap));
         if (r == result::ok) {
           // Secondary trigger: grow once occupancy passes 3/4 of capacity
           // (the probe-length trigger alone cannot protect very small
@@ -89,7 +121,7 @@ class growable_table {
           // full). approx_size() is the striped occupancy counter — a lazy
           // per-stripe sum, so this check adds read traffic only, never a
           // contended read-modify-write on the insert hot path.
-          crowded = table_->approx_size() >= cap - cap / 4;
+          crowded = t->approx_size() >= cap - cap / 4;
         }
       } catch (...) {
         leave();
@@ -107,10 +139,26 @@ class growable_table {
     }
   }
 
-  void erase(key_type kq) { table_->erase(kq); }
-  value_type find(key_type kq) const { return table_->find(kq); }
-  bool contains(key_type kq) const { return table_->contains(kq); }
-  std::vector<value_type> elements() const { return table_->elements(); }
+  // Erases and queries take no enter()/leave(): the phase discipline keeps
+  // them out of insert phases (only inserts grow), and even a racy overlap
+  // with a migration is memory-safe now — the superseded array stays alive
+  // until reclaim's grace period passes.
+  void erase(key_type kq) {
+    reclaim::op_guard qp;
+    cur()->erase(kq);
+  }
+  value_type find(key_type kq) const {
+    reclaim::op_guard qp;
+    return cur()->find(kq);
+  }
+  bool contains(key_type kq) const {
+    reclaim::op_guard qp;
+    return cur()->contains(kq);
+  }
+  std::vector<value_type> elements() const {
+    reclaim::op_guard qp;
+    return cur()->elements();
+  }
 
   // --- whole-batch operations ----------------------------------------------
   //
@@ -123,18 +171,20 @@ class growable_table {
   // finds/erases never run concurrently with it.
 
   void insert_batch(const value_type* values, std::size_t n) {
+    reclaim::op_guard qp;
     for (std::size_t s = 0; s < n;) {
       const std::size_t chunk = std::min(kGrowChunk, n - s);
       enter();
-      const std::size_t cap = table_->capacity();
-      const bool fits = table_->approx_size() + chunk <= cap - cap / 4;
+      inner_table* t = cur();
+      const std::size_t cap = t->capacity();
+      const bool fits = t->approx_size() + chunk <= cap - cap / 4;
       if (!fits) {
         leave();
         grow(cap * 2);
         continue;  // re-check: one doubling may not be enough headroom
       }
       try {
-        insert_batch_range(*table_, values + s, chunk);
+        insert_batch_range(*t, values + s, chunk);
       } catch (...) {
         leave();
         throw;
@@ -148,11 +198,13 @@ class growable_table {
   }
 
   std::vector<value_type> find_batch(const std::vector<key_type>& keys) const {
-    return phch::find_batch(*table_, keys);
+    reclaim::op_guard qp;
+    return phch::find_batch(*cur(), keys);
   }
 
   void erase_batch(const std::vector<key_type>& keys) {
-    phch::erase_batch(*table_, keys);
+    reclaim::op_guard qp;
+    phch::erase_batch(*cur(), keys);
   }
 
   std::size_t growth_count() const noexcept {
@@ -161,7 +213,7 @@ class growable_table {
 
   // Read-only view of the current flat table, for layout and tag-sidecar
   // inspection at quiescent points (racy against a concurrent grow()).
-  const inner_table& inner() const noexcept { return *table_; }
+  const inner_table& inner() const noexcept { return *cur(); }
 
  private:
   // Elements per growth-checked chunk of a batch insert. Small enough that
@@ -169,6 +221,10 @@ class growable_table {
   // large enough to amortize the check and keep the pipelined engine's
   // blocks full.
   static constexpr std::size_t kGrowChunk = 4096;
+
+  inner_table* cur() const noexcept {
+    return table_.load(std::memory_order_acquire);
+  }
 
   std::size_t probe_limit(std::size_t cap) const noexcept {
     // k * log2(capacity): beyond this an insert declares the table overfull.
@@ -192,10 +248,13 @@ class growable_table {
 
   void grow(std::size_t target_capacity) {
     std::lock_guard<std::mutex> lg(grow_lock_);
-    if (table_->capacity() >= target_capacity) return;  // someone else grew it
+    inner_table* old = cur();
+    if (old->capacity() >= target_capacity) return;  // someone else grew it
     obs::span sp("grow");
     resizing_.store(true, std::memory_order_release);
-    // Drain in-flight inserts on the old table.
+    // Drain in-flight inserts on the old table (writers only — concurrent
+    // readers keep probing the old array unexcluded; reclamation keeps it
+    // alive for them).
     while (active_.load(std::memory_order_acquire) != 0) cpu_relax();
     auto fresh = std::make_unique<inner_table>(target_capacity);
     // Migrate: deterministic re-insertion of the old contents through the
@@ -204,20 +263,24 @@ class growable_table {
     // unaffected). Theorem 1 makes the migrated layout identical to a fresh
     // build regardless of re-insertion order, so batching changes nothing
     // observable.
-    std::vector<value_type> live = table_->elements();
+    std::vector<value_type> live = old->elements();
     insert_batch_range(*fresh, live.data(), live.size());
     obs::count(obs::counter::growths);
     obs::count(obs::counter::migrated_elements, live.size());
     sp.a = static_cast<std::uint32_t>(
         live.size() < 0xffffffffu ? live.size() : 0xffffffffu);
     sp.b = target_capacity;
-    table_ = std::move(fresh);
+    // Publish the new table, then retire the old one: readers that loaded
+    // the old pointer before the store finish against an array whose grace
+    // period has not yet passed.
+    table_.store(fresh.release(), std::memory_order_release);
+    reclaim::retire(old);
     growths_.fetch_add(1, std::memory_order_relaxed);
     resizing_.store(false, std::memory_order_release);
   }
 
   std::size_t probe_limit_factor_;
-  std::unique_ptr<inner_table> table_;
+  std::atomic<inner_table*> table_;
   std::mutex grow_lock_;
   std::atomic<bool> resizing_{false};
   std::atomic<std::size_t> active_{0};

@@ -1,19 +1,25 @@
-// Phase-discipline checking (Definition 1 of the paper).
+// Phase-discipline policies (Definition 1 of the paper), as views over the
+// per-table phase state machine in core/phase_runtime.h.
 //
 // A phase-concurrent table requires the caller to keep operations of
 // different types from overlapping in time:
 //     S = { {insert}, {delete}, {find, elements} }.
-// Tables take a Phase policy parameter and hold one instance of it.
-// `unchecked_phases` (the default) compiles to nothing, as in the paper's
-// benchmarked code — except under PHCH_TELEMETRY, where both policies also
-// feed the obs phase-epoch tracer: the first operation of a class different
-// from the table's last-seen class records one phase-transition event
-// (obs/trace.h). `checked_phases` maintains per-table in-flight counters
-// per operation class and, on an illegal overlap, routes a structured
-// phase_violation report through a pluggable process-wide handler. The
-// default handler prints the report and aborts (so the test suite can still
-// death-test the discipline); tests install their own handler to intercept
-// violations in-process.
+// Tables take a Phase policy parameter and hold one instance of it. Both
+// policies carry exactly one phase-state word — a phase_runtime — which is
+// the table's sole source of phase truth: every operation (scalar or
+// batched) announces its class through it, the class-transition edge feeds
+// the obs tracer exactly once per boundary, and the monotone phase epoch is
+// what quiescence-based reclamation (parallel/reclaim.h) keys its grace
+// periods to.
+//
+// `unchecked_phases` (the default) is the runtime alone — the same-class
+// fast path is one relaxed load and a compare, matching the paper's
+// benchmarked code. `checked_phases` additionally maintains per-table
+// in-flight counters per operation class and, on an illegal overlap, routes
+// a structured phase_violation report through a pluggable process-wide
+// handler. The default handler prints the report and aborts (so the test
+// suite can still death-test the discipline); tests install their own
+// handler to intercept violations in-process.
 #pragma once
 
 #include <atomic>
@@ -21,21 +27,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "phch/obs/trace.h"
+#include "phch/core/phase_runtime.h"
 #include "phch/parallel/scheduler.h"
 
 namespace phch {
-
-enum class op_kind : std::uint8_t { insert = 0, erase = 1, query = 2 };
-
-inline const char* op_kind_name(op_kind k) noexcept {
-  switch (k) {
-    case op_kind::insert: return "insert";
-    case op_kind::erase: return "erase";
-    case op_kind::query: return "query";
-  }
-  return "?";
-}
 
 // Everything known about a phase-discipline violation at detection time:
 // which table (address, plus its debug name if one was set), what operation
@@ -84,17 +79,15 @@ inline phase_violation_handler set_phase_violation_handler(
 
 struct unchecked_phases {
   struct scope {
-#if PHCH_TELEMETRY_ENABLED
     scope(unchecked_phases& owner, op_kind kind) noexcept {
-      obs::note_phase(owner.epoch_, static_cast<std::uint8_t>(kind));
+      owner.runtime_.on_op(kind);
     }
-#else
-    scope(unchecked_phases&, op_kind) noexcept {}
-#endif
   };
-#if PHCH_TELEMETRY_ENABLED
-  obs::phase_epoch epoch_;
-#endif
+
+  phase_runtime& runtime() noexcept { return runtime_; }
+  const phase_runtime& runtime() const noexcept { return runtime_; }
+
+  phase_runtime runtime_;
 };
 
 class checked_phases {
@@ -102,9 +95,7 @@ class checked_phases {
   class scope {
    public:
     scope(checked_phases& owner, op_kind kind) noexcept : owner_(owner), kind_(kind) {
-#if PHCH_TELEMETRY_ENABLED
-      obs::note_phase(owner_.epoch_, static_cast<std::uint8_t>(kind));
-#endif
+      owner_.runtime_.on_op(kind);
       const std::uint64_t prev =
           owner_.in_flight_.fetch_add(delta(kind_), std::memory_order_acq_rel);
       // Each op class owns 21 bits of the counter; any other class having a
@@ -124,6 +115,9 @@ class checked_phases {
     checked_phases& owner_;
     op_kind kind_;
   };
+
+  phase_runtime& runtime() noexcept { return runtime_; }
+  const phase_runtime& runtime() const noexcept { return runtime_; }
 
   // Optional debug name included in violation reports. The pointed-to
   // string must outlive the table (string literals in practice).
@@ -145,11 +139,9 @@ class checked_phases {
   static std::uint64_t delta(op_kind k) noexcept {
     return 1ULL << (21 * static_cast<int>(k));
   }
+  phase_runtime runtime_;
   std::atomic<std::uint64_t> in_flight_{0};
   const char* name_ = nullptr;
-#if PHCH_TELEMETRY_ENABLED
-  obs::phase_epoch epoch_;
-#endif
 };
 
 }  // namespace phch

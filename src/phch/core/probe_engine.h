@@ -715,8 +715,16 @@ class probe_engine {
   // operations (see core/batch_ops.h).
   const void* home_address(key_type k) const noexcept { return &slots_[home(k)]; }
 
-  // Batch-engine phase hooks: one scope spanning a whole pipelined block,
-  // so checked_phases observes batched traffic it would otherwise miss.
+  // The table's single phase-state word (core/phase_runtime.h): current
+  // operation class plus the monotone phase epoch. Exposed so wrappers —
+  // auto_phased_table's room transitions, the trace-ledger validation in
+  // tools/phch_trace — read and advance the same state the operation scopes
+  // use, instead of keeping a parallel phase word.
+  phase_runtime& phase_rt() const noexcept { return phase_.runtime(); }
+
+  // Batch-engine phase hooks: one scope spanning a whole pipelined block
+  // (routed through the same phase_runtime as scalar operations), so
+  // checked_phases observes batched traffic it would otherwise miss.
   typename Phase::scope batch_query_scope() const {
     return typename Phase::scope(phase_, op_kind::query);
   }

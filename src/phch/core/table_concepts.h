@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "phch/core/phase_runtime.h"
 #include "phch/core/table_common.h"
 
 namespace phch {
@@ -49,6 +50,16 @@ concept phase_table =
 template <typename T>
 concept deletable_table = phase_table<T> && requires(T& t, typename T::key_type k) {
   t.erase(k);
+};
+
+// A table that exposes its phase_runtime (core/phase_runtime.h): the single
+// per-table phase-state word (current operation class + monotone epoch).
+// Every first-party table models this via its phase policy; wrappers like
+// auto_phased_table use it to advance the epoch at room transitions, and
+// tools validate the exactly-once transition ledger through it.
+template <typename T>
+concept phase_epoch_table = requires(const T& ct) {
+  { ct.phase_rt() } -> std::same_as<phase_runtime&>;
 };
 
 // A phase table backed by one flat slot array — what table_stats, the

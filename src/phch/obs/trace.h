@@ -1,7 +1,8 @@
 // Phase-epoch and span tracing: timestamped events in per-worker rings.
 //
 // Records the *rare* structural events of a run — per-table phase
-// transitions (insert/erase/query epochs, hooked at the phase_guard seam),
+// transitions (insert/erase/query epochs, fed exactly once per boundary by
+// the phase_runtime transition edge, core/phase_runtime.h),
 // root fork-join spans (one per top-level parallel_for / execute), growth
 // migrations, and user marks — as fixed-size events in per-stripe ring
 // buffers. Hot-path table operations never record events; they only bump
@@ -41,7 +42,8 @@
 namespace phch::obs {
 
 enum class event_kind : std::uint32_t {
-  phase_begin = 0,  // a = op class (0 insert, 1 erase, 2 query), b = table id
+  phase_begin = 0,  // a = op class (0 insert, 1 erase, 2 query), b = table id,
+                    // dur_ns = the table's new phase epoch (phase_runtime)
   span = 1,         // dur_ns spans the region; a, b are name-specific payload
   mark = 2,         // b = index into marks()
 };
@@ -159,28 +161,27 @@ class span {
   std::uint64_t t0_ = 0;
 };
 
-// --- phase-epoch seam (consumed by core/phase_guard.h) ----------------------
+// --- phase-transition seam (fed by core/phase_runtime.h) --------------------
 //
-// Each instrumented table holds one phase_epoch; the phase policy's scope
-// constructor calls note_phase with the operation class. Same-class ops see
-// one relaxed load + compare; the first op of a *different* class wins the
-// exchange and records exactly one transition event per actual boundary.
+// The tracer no longer keeps its own per-table "last class" atomic: the
+// phase state machine in core/phase_runtime.h is the single source of
+// truth, and the thread that wins its transition CAS calls
+// note_phase_transition exactly once per actual class boundary. The new
+// phase epoch rides in the event's dur field (unused by non-span events),
+// so a drained trace is a checkable ledger: per table, epochs are distinct
+// and dense up to the table's current epoch.
 
-struct phase_epoch {
-  std::atomic<std::uint8_t> last{255};  // 255 = no op observed yet
-  std::uint32_t table_id =
-      detail::g_table_ids.fetch_add(1, std::memory_order_relaxed);
-};
+inline std::uint32_t next_table_id() noexcept {
+  return detail::g_table_ids.fetch_add(1, std::memory_order_relaxed);
+}
 
-inline void note_phase(phase_epoch& e, std::uint8_t op_class) noexcept {
-  if (!enabled()) return;
-  if (e.last.load(std::memory_order_relaxed) == op_class) return;
-  if (e.last.exchange(op_class, std::memory_order_relaxed) == op_class) return;
-  count(counter::phase_transitions);
+inline void note_phase_transition(std::uint32_t table_id, std::uint8_t op_class,
+                                  std::uint64_t epoch) noexcept {
   static constexpr const char* names[3] = {"phase:insert", "phase:erase",
                                            "phase:query"};
-  record_event(event_kind::phase_begin, op_class < 3 ? names[op_class] : "phase:?",
-               op_class, e.table_id, now_ns());
+  record_event(event_kind::phase_begin,
+               op_class < 3 ? names[op_class] : "phase:?", op_class, table_id,
+               now_ns(), epoch);
 }
 
 // --- marks ------------------------------------------------------------------
@@ -260,8 +261,9 @@ class span {
   std::uint64_t b = 0;
 };
 
-struct phase_epoch {};
-inline void note_phase(phase_epoch&, std::uint8_t) noexcept {}
+inline constexpr std::uint32_t next_table_id() noexcept { return 0; }
+inline void note_phase_transition(std::uint32_t, std::uint8_t,
+                                  std::uint64_t) noexcept {}
 
 inline void mark(const char*) {}
 inline std::vector<mark_entry> marks() { return {}; }

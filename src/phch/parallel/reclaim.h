@@ -1,0 +1,383 @@
+// Quiescence-based deferred reclamation (QSBR) keyed to phase boundaries.
+//
+// Phase-concurrency gives this library something general-purpose concurrent
+// tables have to build elaborate machinery for (Gao–Groote–Hesselink's
+// lock-free resizing, hazard pointers, RCU): program-visible quiescent
+// points. A phase boundary — the end of a table operation, a room
+// transition in auto_phased_table, an idle scheduler worker between
+// top-level tasks — is by construction a moment where the thread holds no
+// references into reclaim-protected structures. This header turns those
+// moments into grace periods:
+//
+//  * retire(p): stamps `p` with the current global epoch G and parks it on
+//    the calling thread's limbo list. Nothing is freed yet — concurrent
+//    readers may still hold `p` (a find probing a growable_table's old slot
+//    array, a thief reading a retired deque ring).
+//  * quiescent(): announces "this thread holds no protected references".
+//    It publishes the thread's local epoch L := G, opportunistically
+//    advances G when every online thread has announced the current epoch,
+//    and frees the caller's limbo nodes whose grace period has passed.
+//  * A node stamped s is freed only once G >= s + 2. Advancing G twice
+//    requires every online thread to announce *after* the retirement, so
+//    every reference acquired before the retirement is provably dropped —
+//    the standard QSBR grace-period argument, with phase boundaries as the
+//    quiescent states (DESIGN.md §13 ties this to Definition 1).
+//
+// Threads register lazily on first use (retire / quiescent / op_guard /
+// ensure_registered) and unregister automatically at thread exit; leftover
+// limbo nodes are orphaned and freed once their grace period passes, or at
+// process teardown by the registry destructor (so LeakSanitizer sees every
+// retired ring and slot array freed). Scheduler workers announce quiescence
+// between top-level tasks and go offline() around the deep-idle sleep so a
+// sleeping pool never stalls reclamation. Threads that never call into this
+// header cost nothing and block nothing.
+//
+// op_guard is the per-operation RAII shim tables use: it pins the calling
+// thread for the duration of an operation (suppressing any nested
+// quiescent() that would otherwise break protection) and announces one
+// quiescent point when the outermost operation ends.
+//
+// set_deferred(false) switches retire() to free immediately. That restores
+// the pre-reclaim lifetime discipline — only safe when the caller
+// guarantees no concurrent reader can hold the retired object (fully
+// drained tables, single-threaded use). It exists for the reclaim-on/off
+// ablation in bench_ablation; leave it on everywhere else.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "phch/obs/telemetry.h"
+
+namespace phch::reclaim {
+
+struct stats_snapshot {
+  std::uint64_t retired = 0;  // nodes ever passed to retire()
+  std::uint64_t freed = 0;    // nodes whose deleter has run
+  std::size_t pending = 0;    // retired - freed, summed over limbo + orphans
+};
+
+namespace detail {
+
+struct retired_node {
+  void* ptr;
+  void (*deleter)(void*);
+  std::uint64_t stamp;  // global epoch at retire time
+  retired_node* next;
+};
+
+// Upper bound on concurrently registered threads. Slots are recycled at
+// thread exit, so this bounds *live* registrations, not thread churn.
+inline constexpr std::size_t kMaxThreads = 512;
+
+struct alignas(64) thread_slot {
+  std::atomic<std::uint64_t> local{0};   // last announced epoch
+  std::atomic<bool> online{false};       // participates in grace periods
+  std::atomic<bool> claimed{false};
+  std::atomic<std::size_t> pending{0};   // |limbo|, readable by anyone
+  retired_node* limbo = nullptr;         // owner-only
+  int pin_depth = 0;                     // owner-only (op_guard nesting)
+  std::uint32_t housekeeping = 0;        // owner-only call throttle
+};
+
+class registry {
+ public:
+  // Function-local static: constructed before the scheduler singleton
+  // (scheduler::start_workers touches it first) and therefore destroyed
+  // after the workers have been joined — the destructor may free all
+  // remaining limbo single-threadedly.
+  static registry& get() {
+    static registry r;
+    return r;
+  }
+
+  registry() = default;
+  registry(const registry&) = delete;
+  registry& operator=(const registry&) = delete;
+
+  ~registry() {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) free_list(slots[i].limbo);
+    free_list(orphans);
+  }
+
+  std::atomic<std::uint64_t> global{0};
+  std::array<thread_slot, kMaxThreads> slots;
+  std::atomic<std::size_t> high_water{0};  // slots ever claimed
+  std::atomic<bool> deferred{true};
+
+  std::mutex advance_m;  // serializes epoch-advance scans (try_lock only)
+  std::mutex orphan_m;   // guards the orphan list
+  retired_node* orphans = nullptr;
+  std::atomic<std::size_t> orphan_pending{0};
+
+  std::atomic<std::uint64_t> retired_total{0};
+  std::atomic<std::uint64_t> freed_total{0};
+
+ private:
+  void free_list(retired_node*& head) {
+    std::uint64_t n = 0;
+    while (head != nullptr) {
+      retired_node* node = head;
+      head = node->next;
+      node->deleter(node->ptr);
+      delete node;
+      ++n;
+    }
+    freed_total.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+// Frees the nodes of `list` whose grace period has passed under epoch `g`,
+// returning how many were freed. `list` must be owned by the caller.
+inline std::size_t free_expired(retired_node*& list, std::uint64_t g) {
+  std::size_t freed = 0;
+  retired_node** pp = &list;
+  while (*pp != nullptr) {
+    retired_node* n = *pp;
+    if (n->stamp + 2 <= g) {
+      *pp = n->next;
+      n->deleter(n->ptr);
+      delete n;
+      ++freed;
+    } else {
+      pp = &n->next;
+    }
+  }
+  return freed;
+}
+
+inline void free_orphans(registry& R) {
+  if (!R.orphan_m.try_lock()) return;
+  const std::uint64_t g = R.global.load(std::memory_order_acquire);
+  const std::size_t freed = free_expired(R.orphans, g);
+  R.orphan_m.unlock();
+  if (freed != 0) {
+    R.orphan_pending.fetch_sub(freed, std::memory_order_relaxed);
+    R.freed_total.fetch_add(freed, std::memory_order_relaxed);
+    obs::count(obs::counter::reclaim_freed, freed);
+  }
+}
+
+// Advances the global epoch by one if every online registered thread has
+// announced the current one. try_lock: contending callers just skip — the
+// next quiescent point retries.
+inline void try_advance(registry& R) {
+  if (!R.advance_m.try_lock()) return;
+  const std::uint64_t g = R.global.load(std::memory_order_relaxed);
+  bool all_quiescent = true;
+  const std::size_t hw = R.high_water.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw && all_quiescent; ++i) {
+    thread_slot& s = R.slots[i];
+    if (s.claimed.load(std::memory_order_acquire) &&
+        s.online.load(std::memory_order_acquire) &&
+        s.local.load(std::memory_order_acquire) != g) {
+      all_quiescent = false;
+    }
+  }
+  if (all_quiescent) R.global.store(g + 1, std::memory_order_release);
+  R.advance_m.unlock();
+  if (all_quiescent) free_orphans(R);
+}
+
+// Frees the caller's own expired limbo nodes.
+inline void free_own(registry& R, thread_slot& s) {
+  if (s.limbo == nullptr) return;
+  const std::size_t freed =
+      free_expired(s.limbo, R.global.load(std::memory_order_acquire));
+  if (freed != 0) {
+    s.pending.fetch_sub(freed, std::memory_order_relaxed);
+    R.freed_total.fetch_add(freed, std::memory_order_relaxed);
+    obs::count(obs::counter::reclaim_freed, freed);
+  }
+}
+
+inline thread_slot* acquire_slot(registry& R) {
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    thread_slot& s = R.slots[i];
+    bool expected = false;
+    if (!s.claimed.load(std::memory_order_relaxed) &&
+        s.claimed.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      // Order matters for the advance scan: local must be current before
+      // online flips, so a scanner that sees us online sees a fresh epoch.
+      s.local.store(R.global.load(std::memory_order_acquire),
+                    std::memory_order_release);
+      s.online.store(true, std::memory_order_release);
+      std::size_t hw = R.high_water.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !R.high_water.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_acq_rel)) {
+      }
+      return &s;
+    }
+  }
+  return nullptr;  // more than kMaxThreads concurrent threads: unprotected
+}
+
+inline void release_slot(registry& R, thread_slot& s) {
+  s.online.store(false, std::memory_order_release);
+  if (s.limbo != nullptr) {
+    // Orphan leftover limbo; it keeps its stamps and is freed by whichever
+    // thread next advances the epoch (or by the registry destructor).
+    std::lock_guard<std::mutex> lock(R.orphan_m);
+    retired_node* tail = s.limbo;
+    std::size_t n = 1;
+    while (tail->next != nullptr) {
+      tail = tail->next;
+      ++n;
+    }
+    tail->next = R.orphans;
+    R.orphans = s.limbo;
+    s.limbo = nullptr;
+    R.orphan_pending.fetch_add(n, std::memory_order_relaxed);
+    s.pending.store(0, std::memory_order_relaxed);
+  }
+  s.pin_depth = 0;
+  s.claimed.store(false, std::memory_order_release);
+}
+
+// Per-thread registration handle. Constructed on first use (after the
+// registry, so it is destroyed before it) and released at thread exit.
+inline thread_slot* my_slot() {
+  struct handle {
+    thread_slot* s = nullptr;
+    ~handle() {
+      if (s != nullptr) release_slot(registry::get(), *s);
+    }
+  };
+  static thread_local handle h;
+  if (h.s == nullptr) h.s = acquire_slot(registry::get());
+  return h.s;
+}
+
+}  // namespace detail
+
+// Registers the calling thread (idempotent). Structures whose readers may
+// observe retired memory — e.g. work_stealing_deque thieves — call this
+// before the first racy load, which makes the access safe: any node retired
+// before registration is unreachable through the structure's published
+// pointers by then.
+inline void ensure_registered() { detail::my_slot(); }
+
+// Defers destruction of `p` until every online thread has passed a
+// quiescent point twice. `del(p)` runs on whichever thread frees it.
+inline void retire(void* p, void (*del)(void*)) {
+  detail::registry& R = detail::registry::get();
+  obs::count(obs::counter::reclaim_retired);
+  R.retired_total.fetch_add(1, std::memory_order_relaxed);
+  if (!R.deferred.load(std::memory_order_relaxed)) {
+    del(p);  // ablation mode: caller guarantees no concurrent readers
+    R.freed_total.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::counter::reclaim_freed);
+    return;
+  }
+  detail::thread_slot* s = detail::my_slot();
+  if (s == nullptr) {  // registry full: leak rather than free unsafely
+    return;
+  }
+  s->limbo = new detail::retired_node{
+      p, del, R.global.load(std::memory_order_acquire), s->limbo};
+  s->pending.fetch_add(1, std::memory_order_relaxed);
+  // Retire-heavy threads (a deque growing many times between quiescent
+  // points) do their own housekeeping so limbo stays bounded.
+  if (s->pending.load(std::memory_order_relaxed) >= 8) {
+    detail::try_advance(R);
+    detail::free_own(R, *s);
+  }
+}
+
+template <typename T>
+inline void retire(T* p) {
+  retire(static_cast<void*>(p),
+         [](void* q) { delete static_cast<T*>(q); });
+}
+
+// Announces a quiescent point for the calling thread: it holds no
+// references into reclaim-protected structures. No-op while pinned by an
+// op_guard (a nested announcement would break the grace-period argument).
+inline void quiescent() {
+  detail::registry& R = detail::registry::get();
+  detail::thread_slot* s = detail::my_slot();
+  if (s == nullptr || s->pin_depth != 0) return;
+  s->local.store(R.global.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  // Epoch advancement needs one scan over the slots; amortize it for
+  // threads with nothing to free (idle workers announcing in a loop).
+  if (s->pending.load(std::memory_order_relaxed) != 0 ||
+      R.orphan_pending.load(std::memory_order_relaxed) != 0 ||
+      (++s->housekeeping & 63u) == 0) {
+    detail::try_advance(R);
+    detail::free_own(R, *s);
+  }
+}
+
+// Takes the calling thread out of grace-period accounting (it promises not
+// to touch reclaim-protected memory until online() is called). Scheduler
+// workers wrap the deep-idle sleep in offline()/online() so a sleeping pool
+// never stalls reclamation.
+inline void offline() {
+  detail::thread_slot* s = detail::my_slot();
+  if (s != nullptr) s->online.store(false, std::memory_order_release);
+}
+
+inline void online() {
+  detail::registry& R = detail::registry::get();
+  detail::thread_slot* s = detail::my_slot();
+  if (s == nullptr) return;
+  s->local.store(R.global.load(std::memory_order_acquire),
+                 std::memory_order_release);
+  s->online.store(true, std::memory_order_release);
+}
+
+// RAII shim around one table operation: pins the thread (nested quiescent()
+// calls are suppressed — the thread may hold a snapshot pointer into the
+// table) and announces one quiescent point when the outermost operation
+// ends. Registration happens in the constructor, *before* the operation
+// loads any protected pointer, which is what makes a thread's first access
+// to a reclaim-protected structure safe.
+class op_guard {
+ public:
+  op_guard() noexcept : s_(detail::my_slot()) {
+    if (s_ != nullptr) ++s_->pin_depth;
+  }
+  ~op_guard() {
+    if (s_ != nullptr && --s_->pin_depth == 0) quiescent();
+  }
+  op_guard(const op_guard&) = delete;
+  op_guard& operator=(const op_guard&) = delete;
+
+ private:
+  detail::thread_slot* s_;
+};
+
+// Ablation switch; see header comment. Returns the previous setting.
+inline bool set_deferred(bool on) noexcept {
+  return detail::registry::get().deferred.exchange(on,
+                                                   std::memory_order_relaxed);
+}
+
+inline std::size_t pending_count() noexcept {
+  detail::registry& R = detail::registry::get();
+  std::size_t n = R.orphan_pending.load(std::memory_order_relaxed);
+  const std::size_t hw = R.high_water.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i)
+    n += R.slots[i].pending.load(std::memory_order_relaxed);
+  return n;
+}
+
+inline stats_snapshot stats() noexcept {
+  detail::registry& R = detail::registry::get();
+  stats_snapshot s;
+  s.retired = R.retired_total.load(std::memory_order_relaxed);
+  s.freed = R.freed_total.load(std::memory_order_relaxed);
+  s.pending = pending_count();
+  return s;
+}
+
+inline std::uint64_t global_epoch() noexcept {
+  return detail::registry::get().global.load(std::memory_order_relaxed);
+}
+
+}  // namespace phch::reclaim

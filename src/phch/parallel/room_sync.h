@@ -19,6 +19,12 @@
 //  - exit: decrement occupancy; the thread that drops it to zero elects the
 //    next room among waiters and opens it.
 // Entering is lock-free when the requested room is already open.
+//
+// The packed word here is *occupancy control only* — it decides who may run,
+// not what phase a table is in. Phase identity (current class + monotone
+// epoch) lives in the table's phase_runtime (core/phase_runtime.h);
+// auto_phased_table advances that epoch at each room transition, so the
+// rooms and the phase ledger stay in lockstep without a second phase word.
 #pragma once
 
 #include <atomic>
@@ -27,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "phch/obs/telemetry.h"
 #include "phch/parallel/spinlock.h"
 
 namespace phch {
@@ -52,6 +59,7 @@ class room_sync {
     assert(room >= 0 && room < num_rooms_);
     // Fast path: the room is open (or the building is empty).
     if (try_enter(room)) return;
+    obs::count(obs::counter::room_waits);  // once per blocked enter, not per spin
     waiters_[static_cast<std::size_t>(room)].fetch_add(1, std::memory_order_acq_rel);
     int spins = 0;
     while (!try_enter(room)) {

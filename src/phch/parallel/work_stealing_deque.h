@@ -8,16 +8,29 @@
 // task lifetime is managed by the forker (tasks live on the forker's stack
 // until joined).
 //
-// The ring buffer grows geometrically when full. Retired rings are kept
-// alive until the deque is destroyed because a concurrent thief may still
-// be reading a slot from an old ring; the subsequent CAS on `top_` detects
-// and discards any such stale read.
+// The ring buffer grows geometrically when full. A concurrent thief may
+// still be reading a slot from a superseded ring (the subsequent CAS on
+// `top_` detects and discards any such stale read), so retired rings cannot
+// be deleted in place — but hoarding them for the deque's whole lifetime
+// (the old scheme) made a long-lived deque's memory grow without bound.
+// Instead, grow() hands the old ring to quiescence-based reclamation
+// (parallel/reclaim.h): it is freed once every registered thread has passed
+// a quiescent point after the retirement, which scheduler workers do
+// between top-level tasks. steal() registers the calling thread *before*
+// its first load of `buf_`, which is what makes stale reads safe: any ring
+// freed after that point must have been retired after registration, and a
+// retired ring is unreachable through `buf_` by then. Threads outside the
+// scheduler pool that steal from a growing deque get the same protection
+// automatically; they simply never announce quiescence, so rings retired
+// while they run stay in limbo until process teardown (safe, merely
+// deferred).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <vector>
+
+#include "phch/parallel/reclaim.h"
 
 namespace phch {
 namespace detail {
@@ -49,12 +62,16 @@ template <typename T>
 class work_stealing_deque {
  public:
   explicit work_stealing_deque(std::int64_t initial_capacity = 64) {
-    rings_.emplace_back(std::make_unique<ring>(initial_capacity));
-    buf_.store(rings_.back().get(), std::memory_order_relaxed);
+    buf_.store(new ring(initial_capacity), std::memory_order_relaxed);
   }
 
   work_stealing_deque(const work_stealing_deque&) = delete;
   work_stealing_deque& operator=(const work_stealing_deque&) = delete;
+
+  // Destroying the deque requires quiescence (no concurrent thieves), as
+  // before; superseded rings are already in reclaim limbo and freed when
+  // their grace period passes.
+  ~work_stealing_deque() { delete buf_.load(std::memory_order_relaxed); }
 
   // Owner only. Pushes `x` at the bottom, growing the ring if full.
   void push_bottom(T* x) {
@@ -103,6 +120,10 @@ class work_stealing_deque {
   // Any thread. Steals the oldest task, or returns nullptr when the deque
   // is empty or another thief (or the owner) won the race.
   T* steal() {
+    // Must precede the buf_ load (see header comment): registration makes
+    // any ring reachable through buf_ unfree-able until this thread next
+    // announces quiescence — which it does not do mid-steal.
+    reclaim::ensure_registered();
     std::int64_t t = top_.load(mo(std::memory_order_acquire));
     seq_cst_fence();
     const std::int64_t b = bottom_.load(mo(std::memory_order_acquire));
@@ -138,18 +159,19 @@ class work_stealing_deque {
   };
 
   ring* grow(ring* old, std::int64_t t, std::int64_t b) {
-    auto bigger = std::make_unique<ring>(2 * old->capacity);
+    ring* bigger = new ring(2 * old->capacity);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
-    ring* raw = bigger.get();
-    rings_.emplace_back(std::move(bigger));  // owner-only; keeps old rings alive
-    buf_.store(raw, mo(std::memory_order_release));
-    return raw;
+    buf_.store(bigger, mo(std::memory_order_release));
+    // Owner-only: publish first, then retire. Racing thieves that loaded
+    // the old ring finish their (possibly stale, CAS-discarded) reads
+    // before their next quiescent point, so the grace period covers them.
+    reclaim::retire(old);
+    return bigger;
   }
 
   alignas(64) std::atomic<std::int64_t> top_{0};
   alignas(64) std::atomic<std::int64_t> bottom_{0};
   alignas(64) std::atomic<ring*> buf_{nullptr};
-  std::vector<std::unique_ptr<ring>> rings_;
 };
 
 }  // namespace detail

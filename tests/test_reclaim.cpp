@@ -1,0 +1,194 @@
+// Quiescence-based reclamation (parallel/reclaim.h): grace-period
+// discipline (nothing freed before G >= stamp+2, everything freed once every
+// participant announces), op_guard pinning, offline threads not stalling
+// advancement, and the two production consumers — growable_table slot
+// arrays under a growth-heavy load (>= 100 growths) and work-stealing deque
+// rings staying bounded while the deque lives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "phch/core/growable_table.h"
+#include "phch/parallel/parallel_for.h"
+#include "phch/parallel/reclaim.h"
+#include "phch/parallel/scheduler.h"
+#include "phch/parallel/work_stealing_deque.h"
+#include "table_test_util.h"
+
+namespace phch {
+namespace {
+
+std::atomic<int> g_probe_freed{0};
+
+struct probe {};
+
+void probe_deleter(void* p) {
+  delete static_cast<probe*>(p);
+  g_probe_freed.fetch_add(1);
+}
+
+// Announce quiescent points until all limbo everywhere has drained (idle
+// scheduler workers announce on their own in the idle loop). Returns false
+// on deadline, so a reclamation stall fails the test instead of hanging it.
+bool drain_reclaim(std::chrono::seconds timeout = std::chrono::seconds(60)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (reclaim::pending_count() != 0) {
+    reclaim::quiescent();
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// Single-worker pool makes the epoch accounting exact: the calling thread is
+// the only online participant, so quiescent() advances G by exactly one.
+TEST(Reclaim, NothingFreedBeforeItsGraceEpoch) {
+  const int original = num_workers();
+  scheduler::get().set_num_workers(1);
+  ASSERT_TRUE(drain_reclaim());
+
+  const int before = g_probe_freed.load();
+  const std::uint64_t g0 = reclaim::global_epoch();
+  reclaim::retire(new probe, &probe_deleter);
+  EXPECT_EQ(g_probe_freed.load(), before);  // retire never frees in place
+
+  reclaim::quiescent();  // G -> g0+1: one announcement is not a grace period
+  EXPECT_EQ(reclaim::global_epoch(), g0 + 1);
+  EXPECT_EQ(g_probe_freed.load(), before);
+
+  reclaim::quiescent();  // G -> g0+2: stamp+2 reached, deleter runs
+  EXPECT_EQ(reclaim::global_epoch(), g0 + 2);
+  EXPECT_EQ(g_probe_freed.load(), before + 1);
+
+  scheduler::get().set_num_workers(original);
+}
+
+// op_guard pins the thread: nested quiescent() calls are suppressed (the
+// operation may hold a snapshot pointer into a protected structure), and
+// exactly one announcement happens when the outermost guard closes.
+TEST(Reclaim, OpGuardSuppressesNestedQuiescentPoints) {
+  const int original = num_workers();
+  scheduler::get().set_num_workers(1);
+  ASSERT_TRUE(drain_reclaim());
+
+  const int before = g_probe_freed.load();
+  const std::uint64_t g0 = reclaim::global_epoch();
+  {
+    reclaim::op_guard outer;
+    reclaim::retire(new probe, &probe_deleter);
+    {
+      reclaim::op_guard inner;  // nesting must not announce either
+      reclaim::quiescent();
+      reclaim::quiescent();
+    }
+    reclaim::quiescent();
+    EXPECT_EQ(reclaim::global_epoch(), g0);  // pinned: no announcements
+    EXPECT_EQ(g_probe_freed.load(), before);
+  }
+  // The guard's close was announcement #1; one more completes the grace
+  // period.
+  EXPECT_EQ(reclaim::global_epoch(), g0 + 1);
+  reclaim::quiescent();
+  EXPECT_EQ(g_probe_freed.load(), before + 1);
+
+  scheduler::get().set_num_workers(original);
+}
+
+// A registered thread that has gone offline() must not stall grace periods
+// even though it never announces (the scheduler relies on this for the
+// deep-idle sleep).
+TEST(Reclaim, OfflineThreadsDoNotBlockAdvancement) {
+  const int original = num_workers();
+  scheduler::get().set_num_workers(1);
+  ASSERT_TRUE(drain_reclaim());
+
+  std::atomic<bool> parked{false};
+  std::atomic<bool> stop{false};
+  std::thread helper([&] {
+    reclaim::online();
+    reclaim::offline();
+    parked.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  while (!parked.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  const int before = g_probe_freed.load();
+  reclaim::retire(new probe, &probe_deleter);
+  reclaim::quiescent();
+  reclaim::quiescent();
+  EXPECT_EQ(g_probe_freed.load(), before + 1);
+
+  stop.store(true, std::memory_order_release);
+  helper.join();
+  scheduler::get().set_num_workers(original);
+}
+
+// The bench_ablation escape hatch: with deferral off, retire() frees in
+// place (callers guarantee no concurrent readers).
+TEST(Reclaim, SetDeferredFalseFreesImmediately) {
+  const bool prev = reclaim::set_deferred(false);
+  EXPECT_TRUE(prev);  // deferral is the default
+  const int before = g_probe_freed.load();
+  reclaim::retire(new probe, &probe_deleter);
+  EXPECT_EQ(g_probe_freed.load(), before + 1);
+  reclaim::set_deferred(prev);
+}
+
+// Retire-under-load stress: growth-heavy parallel inserts retire well over
+// 100 slot arrays; none may be freed early (ASan would catch a
+// use-after-free in the unexcluded readers), and all must be freed once the
+// load quiesces.
+TEST(Reclaim, GrowableTableRetiresAndFreesOldArraysUnderLoad) {
+  ASSERT_TRUE(drain_reclaim());
+  const auto before = reclaim::stats();
+  std::size_t growths = 0;
+  for (int rep = 0; rep < 12; ++rep) {
+    growable_table<int_entry<>> t(16);
+    const auto keys = test::unique_keys(20000, 100 + rep);
+    test::parallel_insert(t, keys);
+    parallel_for(0, keys.size(), [&](std::size_t i) {
+      if (!t.contains(keys[i])) std::abort();  // lost insert across growths
+    });
+    growths += t.growth_count();
+  }
+  EXPECT_GE(growths, 100u);  // 16 -> 32768 is 11 doublings, x12 repetitions
+  const auto after = reclaim::stats();
+  EXPECT_GE(after.retired - before.retired, growths);
+  ASSERT_TRUE(drain_reclaim());
+  const auto settled = reclaim::stats();
+  EXPECT_EQ(settled.pending, 0u);
+  EXPECT_EQ(settled.freed, settled.retired);  // every retiree ever freed
+}
+
+// Regression for the old ring-hoarding scheme: superseded deque rings must
+// be reclaimed while the deque is still alive, so repeated growth cycles
+// keep the live ring count bounded instead of accumulating one ring per
+// doubling for the deque's lifetime.
+TEST(Reclaim, DequeRingsAreReclaimedWhileDequeLives) {
+  ASSERT_TRUE(drain_reclaim());
+  const auto before = reclaim::stats();
+  detail::work_stealing_deque<int> d(8);
+  std::vector<int> vals(1 << 14);
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const std::int64_t n = std::int64_t{8} << (cycle < 11 ? cycle : 11);
+    for (std::int64_t i = 0; i < n; ++i) {
+      d.push_bottom(&vals[static_cast<std::size_t>(i)]);
+    }
+    while (d.pop_bottom() != nullptr) {
+    }
+    // The deque is drained but alive; every ring retired so far must be
+    // freeable right now.
+    ASSERT_TRUE(drain_reclaim()) << "cycle " << cycle;
+    EXPECT_EQ(reclaim::pending_count(), 0u) << "cycle " << cycle;
+  }
+  const auto after = reclaim::stats();
+  EXPECT_GE(after.retired - before.retired, 10u);  // one growth per doubling
+  EXPECT_EQ(after.freed - before.freed, after.retired - before.retired);
+}
+
+}  // namespace
+}  // namespace phch

@@ -39,9 +39,11 @@ using obs::counter;
 
 TEST(TelemetryOff, LayerIsCompiledOut) {
   if (obs::compiled) GTEST_SKIP() << "telemetry compiled in";
-  // The phase policies carry no telemetry state: unchecked_phases stays an
-  // empty class, exactly as before the obs layer existed.
-  EXPECT_EQ(sizeof(unchecked_phases), 1u);
+  // The phase policies carry no telemetry state: unchecked_phases is
+  // exactly the one phase_runtime cache line. That word is functional (it
+  // drives reclamation grace periods and phase tracking), not telemetry —
+  // compiling obs in must not widen it.
+  EXPECT_EQ(sizeof(unchecked_phases), sizeof(phase_runtime));
   EXPECT_FALSE(obs::enabled());
   obs::set_enabled(true);  // no-op when compiled out
   EXPECT_FALSE(obs::enabled());

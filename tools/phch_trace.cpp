@@ -3,11 +3,17 @@
 // snapshot + chrome://tracing file.
 //
 //   ./phch_trace -workload dedup|bfs|mixed -n N [-threads P]
-//                [-table det|nd|tomb|chained|cuckoo|hopscotch]
+//                [-table det|nd|tomb|chained|cuckoo|hopscotch|auto]
 //                [-metrics metrics.json] [-trace trace.json]
 //
 // Exit status: 0 on success, 1 if any counter identity or reference count
 // check fails, 2 if the binary was built without -DPHCH_TELEMETRY=ON.
+//
+// `-table auto` is special: it runs its own mixed workload (phased stages
+// plus an uncoordinated mixed stream) on an auto_phased_table and validates
+// the exactly-once transition ledger — the wrapped table's phase epoch must
+// equal the phase_transitions counter, and every traced phase boundary must
+// carry a distinct epoch. It ignores -workload.
 //
 // The checks are the telemetry layer's end-to-end contract: counter sums
 // taken at a quiescent point are *exact*, so
@@ -21,14 +27,17 @@
 // -table swaps the backend: the same identities must hold for every table
 // in the unified stack, so each reference check is written once against the
 // concepts layer and instantiated per family.
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "phch/apps/bfs.h"
 #include "phch/apps/remove_duplicates.h"
+#include "phch/core/auto_phased_table.h"
 #include "phch/core/batch_ops.h"
 #include "phch/core/chained_table.h"
 #include "phch/core/cuckoo_table.h"
@@ -171,6 +180,78 @@ obs::metrics_snapshot run_mixed(std::size_t n) {
   return d;
 }
 
+// -table auto: mixed workload on the self-phasing wrapper, validating the
+// exactly-once transition ledger. Every room transition advances the
+// wrapped table's phase epoch through the same phase_runtime word that
+// scalar and batch operations use, and the epoch's transition edge is what
+// feeds the phase_transitions counter and the tracer — so at a quiescent
+// point the three must agree exactly: epoch == counter, and each traced
+// phase_begin event carries a distinct epoch (a boundary published twice
+// would show up as a duplicate; one missed would break the counter match).
+obs::metrics_snapshot run_auto(std::size_t n) {
+  auto_phased_table<deterministic_table<int_entry<>>> t(round_up_pow2(4 * n));
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = hash64(i + 1) | 1;
+
+  const obs::metrics_snapshot before = obs::snapshot();
+  obs::mark("auto/phased");
+  // Structured stages: three clean class boundaries with a known outcome.
+  parallel_for(0, n, [&](std::size_t i) { t.insert(keys[i]); });
+  std::atomic<std::uint64_t> hits{0};
+  parallel_for(0, n, [&](std::size_t i) {
+    if (t.contains(keys[i])) hits.fetch_add(1, std::memory_order_relaxed);
+  });
+  parallel_for(0, n / 2, [&](std::size_t i) { t.erase(keys[i]); });
+  obs::mark("auto/mixed");
+  // Uncoordinated mixed stream: all workers issue inserts, finds and erases
+  // with no phasing of their own; the rooms serialize the classes and the
+  // ledger must count every induced boundary exactly once.
+  parallel_for(0, n, [&](std::size_t i) {
+    const std::uint64_t k = keys[hash64(i) % n];
+    switch (hash64(i ^ 0x9e3779b97f4a7c15ULL) & 3) {
+      case 0: t.insert(k); break;
+      case 1: t.erase(k); break;
+      default: (void)t.contains(k); break;
+    }
+  });
+  obs::mark("auto/done");
+  const obs::metrics_snapshot d = obs::snapshot() - before;
+
+  expect_eq("auto find_hits after insert", hits.load(), n);
+  check_insert_identity(d);
+
+  const std::uint64_t epoch = t.underlying().phase_rt().epoch();
+  expect_eq("auto ledger: phase_transitions == epoch",
+            d[obs::counter::phase_transitions], epoch);
+  if (epoch < 4) {
+    std::fprintf(stderr,
+                 "phch_trace: FAIL auto ledger: epoch %" PRIu64
+                 " < 4 structured boundaries\n",
+                 epoch);
+    ++failures;
+  }
+
+  const auto tr = obs::drain_trace();
+  std::uint64_t phase_events = 0;
+  std::set<std::uint64_t> epochs;
+  for (const auto& e : tr.events) {
+    if (e.kind != obs::event_kind::phase_begin) continue;
+    ++phase_events;
+    if (!epochs.insert(e.dur_ns).second) {
+      std::fprintf(stderr,
+                   "phch_trace: FAIL auto ledger: boundary epoch %" PRIu64
+                   " traced twice\n",
+                   e.dur_ns);
+      ++failures;
+    }
+  }
+  std::printf("  ok  %-32s %" PRIu64 " (all epochs distinct)\n",
+              "auto traced boundaries", phase_events);
+  std::printf("  ok  %-32s %" PRIu64 "\n", "auto room_waits",
+              d[obs::counter::room_waits]);
+  return d;
+}
+
 // Returns false on an unknown workload name.
 template <typename Family>
 bool run_workload(const std::string& workload, std::size_t n) {
@@ -212,7 +293,10 @@ int main(int argc, char** argv) {
   obs::reset();
 
   bool known_workload;
-  if (table == "det") {
+  if (table == "auto") {
+    run_auto(n);  // self-contained mixed workload; -workload is ignored
+    known_workload = true;
+  } else if (table == "det") {
     known_workload = run_workload<det_family>(workload, n);
   } else if (table == "nd") {
     known_workload = run_workload<nd_family>(workload, n);
@@ -227,7 +311,7 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "phch_trace: unknown table '%s' (want det|nd|tomb|chained|"
-                 "cuckoo|hopscotch)\n",
+                 "cuckoo|hopscotch|auto)\n",
                  table.c_str());
     return 1;
   }
