@@ -646,6 +646,11 @@ int main(int argc, char** argv) {
                obs::compiled ? "true" : "false", tele_off, tele_on,
                100.0 * (tele_on - tele_off) / tele_off);
   obs::write_counters_json(f, obs::snapshot(), "    ");
+  // The probe-depth distribution behind the overhead numbers (empty when
+  // telemetry is compiled out): what the "on" run actually recorded.
+  std::fprintf(f, ",\n    \"probe_depth\": ");
+  obs::write_hist_json(f, obs::table_hist_totals(obs::table_hist::probe_depth),
+                       "    ");
   std::fprintf(f, "}\n");
   std::fprintf(f, "}\n");
   std::fclose(f);

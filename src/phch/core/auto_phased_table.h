@@ -34,6 +34,7 @@
 
 #include "phch/core/deterministic_table.h"
 #include "phch/core/table_concepts.h"
+#include "phch/obs/histogram.h"
 #include "phch/parallel/reclaim.h"
 #include "phch/parallel/room_sync.h"
 
@@ -136,6 +137,21 @@ class auto_phased_table {
   // Access to the underlying table at a quiescent point (caller's duty).
   Table& underlying() noexcept { return table_; }
   const Table& underlying() const noexcept { return table_; }
+
+  // Observability passthroughs: the wrapper performs every operation on the
+  // wrapped table, so its distribution block and phase word *are* this
+  // table's — surfacing them here lets obs::register_table attribute
+  // histograms and the phase epoch to the wrapper directly.
+  obs::table_hists& hists() const noexcept
+    requires requires(const Table& t) { t.hists(); }
+  {
+    return table_.hists();
+  }
+  phase_runtime& phase_rt() const noexcept
+    requires phase_epoch_table<Table>
+  {
+    return table_.phase_rt();
+  }
 
  private:
   static constexpr int kInsertRoom = 0;

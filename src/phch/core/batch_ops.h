@@ -53,6 +53,7 @@
 #include "phch/core/table_common.h"
 #include "phch/core/table_concepts.h"
 #include "phch/core/tag_array.h"
+#include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/parallel_for.h"
@@ -151,6 +152,7 @@ void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
   std::size_t live = 0;
   // Local tallies flushed once per block (dead stores when obs is off).
   std::uint64_t t_slots = 0, t_rot = 0, t_hits = 0;
+  [[maybe_unused]] obs::hist_accum t_depth;
 
   auto start = [&](op& o) {
     const std::size_t idx = issued++;
@@ -193,6 +195,12 @@ void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
       }
     } while (o.slot & (line - 1));
     if (done) {
+      // Probe-depth ledger: pipelined finds never reach a scalar
+      // continuation, so their depth sample is noted here (advances
+      // plus the resolving load) and flushed with the other tallies.
+      if constexpr (requires { t.hists(); }) {
+        t_depth.note(o.advances + 1);
+      }
       out[o.idx] = result;
       if (issued < n) {
         start(o);  // refill the lane, keep rotating
@@ -212,6 +220,9 @@ void find_block_pipelined(const Table& t, const K* keys, std::size_t n,
   obs::count(obs::counter::batch_probe_slots, t_slots);
   obs::count(obs::counter::batch_rotations, t_rot);
   obs::count(obs::counter::batch_blocks);
+  if constexpr (requires { t.hists(); }) {
+    t.hists().record_block(obs::table_hist::probe_depth, t_depth);
+  }
 }
 
 template <typename Table, typename V>
@@ -307,6 +318,7 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
   std::size_t issued = 0;
   std::size_t live = 0;
   std::uint64_t t_slots = 0, t_rot = 0, t_handoffs = 0, t_dropped = 0;
+  [[maybe_unused]] obs::hist_accum t_depth;
 
   auto start = [&](op& o) {
     const typename Table::key_type kq = keys[issued++];
@@ -350,8 +362,12 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
         t.erase_from(o.kq, o.advances);
       } else {
         // The scalar continuation never runs for a wrapped probe, so the
-        // dropped key's erase_ops tick is accounted here.
+        // dropped key's erase_ops tick and probe-depth sample are
+        // accounted here.
         ++t_dropped;
+        if constexpr (requires { t.hists(); }) {
+          t_depth.note(o.advances);
+        }
       }
       if (issued < n) {
         start(o);
@@ -371,6 +387,9 @@ void erase_block_pipelined(Table& t, const K* keys, std::size_t n,
   obs::count(obs::counter::batch_rotations, t_rot);
   obs::count(obs::counter::batch_handoffs, t_handoffs);
   obs::count(obs::counter::batch_blocks);
+  if constexpr (requires { t.hists(); }) {
+    t.hists().record_block(obs::table_hist::probe_depth, t_depth);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -405,6 +424,7 @@ void find_block_tagged(const Table& t, const K* keys, std::size_t n,
     std::uint32_t cand;    // unconfirmed fingerprint matches in group g
     std::uint32_t empty;   // empty-tag lanes of group g
     std::size_t groups;    // groups consumed (wrap detection)
+    std::size_t loads;     // slot confirmations (probe-depth sample)
     std::uint8_t fp;
     typename Table::key_type kq;
   };
@@ -413,6 +433,7 @@ void find_block_tagged(const Table& t, const K* keys, std::size_t n,
   std::size_t live = 0;
   std::uint64_t t_slots = 0, t_rot = 0, t_hits = 0;
   std::uint64_t t_groups = 0, t_cand = 0, t_fp = 0;
+  [[maybe_unused]] obs::hist_accum t_depth;
 
   auto start = [&](op& o) {
     const std::size_t idx = issued++;
@@ -420,7 +441,7 @@ void find_block_tagged(const Table& t, const K* keys, std::size_t n,
     const std::uint64_t h = Traits::hash(kq);
     const std::size_t ihome = static_cast<std::size_t>(h) & mask;
     const std::size_t g = ihome & ~(w - 1);
-    o = op{idx,  g, ~0u << (ihome - g), 0, 0, 0,
+    o = op{idx,  g, ~0u << (ihome - g), 0, 0, 0, 0,
            tag_array::fingerprint(h), kq};
     detail::prefetch_ro(tags + g);
   };
@@ -439,6 +460,7 @@ void find_block_tagged(const Table& t, const K* keys, std::size_t n,
       const value_type c = atomic_load(&slots[s]);
       ++t_slots;
       ++t_cand;
+      ++o.loads;
       if (Table::is_present(c) &&
           Traits::key_equal(Traits::key(c), o.kq)) {
         done = true;
@@ -493,6 +515,11 @@ void find_block_tagged(const Table& t, const K* keys, std::size_t n,
       }
     }
     if (done) {
+      // Probe-depth sample: slot confirmations, matching the scalar
+      // tagged loop's tally (0 when the tags alone resolved the op).
+      if constexpr (requires { t.hists(); }) {
+        t_depth.note(o.loads);
+      }
       out[o.idx] = result;
       if (issued < n) {
         start(o);
@@ -513,6 +540,9 @@ void find_block_tagged(const Table& t, const K* keys, std::size_t n,
   obs::count(obs::counter::tag_candidates, t_cand);
   obs::count(obs::counter::tag_false_positives, t_fp);
   obs::count(obs::counter::batch_blocks);
+  if constexpr (requires { t.hists(); }) {
+    t.hists().record_block(obs::table_hist::probe_depth, t_depth);
+  }
 }
 
 // Arrival-order tables only (the dispatcher guards): the group scan finds
@@ -643,6 +673,7 @@ void erase_block_tagged(Table& t, const K* keys, std::size_t n,
   std::size_t live = 0;
   std::uint64_t t_slots = 0, t_rot = 0, t_handoffs = 0, t_dropped = 0;
   std::uint64_t t_groups = 0, t_cand = 0, t_fp = 0;
+  [[maybe_unused]] obs::hist_accum t_depth;
 
   auto start = [&](op& o) {
     const typename Table::key_type kq = keys[issued++];
@@ -715,8 +746,11 @@ void erase_block_tagged(Table& t, const K* keys, std::size_t n,
           detail::prefetch_rw(&slots[s]);
         } else if (m.empty != 0 || ++o.groups >= max_groups) {
           // The scalar continuation never runs for an absent key, so its
-          // erase_ops tick is accounted below.
+          // erase_ops tick (below) and probe-depth sample land here.
           ++t_dropped;
+          if constexpr (requires { t.hists(); }) {
+            t_depth.note(0);
+          }
           done = true;
         } else {
           o.g = (o.g + w) & mask;
@@ -762,6 +796,9 @@ void erase_block_tagged(Table& t, const K* keys, std::size_t n,
   obs::count(obs::counter::tag_candidates, t_cand);
   obs::count(obs::counter::tag_false_positives, t_fp);
   obs::count(obs::counter::batch_blocks);
+  if constexpr (requires { t.hists(); }) {
+    t.hists().record_block(obs::table_hist::probe_depth, t_depth);
+  }
 }
 
 }  // namespace batch_detail

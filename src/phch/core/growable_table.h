@@ -215,6 +215,19 @@ class growable_table {
   // inspection at quiescent points (racy against a concurrent grow()).
   const inner_table& inner() const noexcept { return *cur(); }
 
+  // The *current* incarnation's distribution block. Growth replaces the
+  // inner table, so a registered growable table's per-table histograms
+  // cover the incarnation live at sample time; samples recorded by
+  // superseded incarnations stay in the global graveyard totals
+  // (obs::table_hist_totals), which remain exact.
+  obs::table_hists& hists() const noexcept {
+    reclaim::op_guard qp;
+    return cur()->hists();
+  }
+
+  // The current incarnation's phase word (same caveat as hists()).
+  phase_runtime& phase_rt() const noexcept { return cur()->phase_rt(); }
+
  private:
   // Elements per growth-checked chunk of a batch insert. Small enough that
   // "fits under the occupancy ceiling" is checkable up front per chunk,
@@ -251,6 +264,7 @@ class growable_table {
     inner_table* old = cur();
     if (old->capacity() >= target_capacity) return;  // someone else grew it
     obs::span sp("grow");
+    const std::uint64_t grow_t0 = obs::now_if_enabled();
     resizing_.store(true, std::memory_order_release);
     // Drain in-flight inserts on the old table (writers only — concurrent
     // readers keep probing the old array unexcluded; reclamation keeps it
@@ -277,6 +291,7 @@ class growable_table {
     reclaim::retire(old);
     growths_.fetch_add(1, std::memory_order_relaxed);
     resizing_.store(false, std::memory_order_release);
+    obs::hist_record_since(obs::global_hist::growth_ns, grow_t0);
   }
 
   std::size_t probe_limit_factor_;

@@ -75,6 +75,7 @@
 #include "phch/core/simd_scan.h"
 #include "phch/core/table_common.h"
 #include "phch/core/tag_array.h"
+#include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/striped_counter.h"
@@ -244,6 +245,7 @@ class probe_engine {
   // value: commutativity is with respect to table state, and "was it new?"
   // is not well defined under concurrent merging.
   void insert(value_type v) {
+    obs::latency_sampler lat(hists_);
     if constexpr (!Order::ordered_probes) {
       const simd::backend b = simd::active();
       if (simd::usable(b, capacity())) {
@@ -268,6 +270,7 @@ class probe_engine {
   // successful CAS), a displacement chain cannot be abandoned, so the
   // insert completes and merely reports `lengthy`.
   insert_result insert_bounded(value_type v, std::size_t probe_limit) {
+    obs::latency_sampler lat(hists_);
     return insert_impl(v, probe_limit, home(Traits::key(v)), 0);
   }
 
@@ -287,6 +290,9 @@ class probe_engine {
     assert(!Traits::is_empty(v));
     obs::count(obs::counter::insert_ops);
     obs::probe_tally tally;
+    // `advances` slots were already walked by the pipelined prefix; the
+    // scope reads the tally's final slot count on every exit path below.
+    obs::probe_depth_scope depth(&hists_, tally, advances);
     const std::size_t cap = capacity();
     bool committed = false;
     for (;;) {
@@ -374,6 +380,7 @@ class probe_engine {
   // Tombstone: marks the entry's slot with Traits::busy().
   void erase(key_type kq) {
     typename Phase::scope guard(phase_, op_kind::erase);
+    obs::latency_sampler lat(hists_);
     obs::count(obs::counter::erase_ops);
     const simd::backend b = simd::active();
     if (simd::usable(b, capacity())) {
@@ -385,6 +392,7 @@ class probe_engine {
     } else {
       const std::size_t cap = capacity();
       obs::probe_tally tally;
+      obs::probe_depth_scope depth(&hists_, tally);
       // Unwrapped coordinates, offset by one capacity so they never
       // underflow. Initial forward scan (lines 27-29): past every slot the
       // ordering policy says could still precede the key.
@@ -412,6 +420,7 @@ class probe_engine {
       tombstone_erase(kq, (home(kq) + fwd_advances) & slots_.mask(), fwd_advances);
     } else {
       obs::probe_tally tally;
+      obs::probe_depth_scope depth(&hists_, tally, fwd_advances);
       const std::uint64_t i = capacity() + home(kq);
       erase_downward(tally, kq, i, i + fwd_advances);
     }
@@ -421,6 +430,7 @@ class probe_engine {
   void tombstone_erase(key_type kq, std::size_t i, std::size_t advances) {
     const std::size_t cap = capacity();
     obs::probe_tally tally;
+    obs::probe_depth_scope depth(&hists_, tally, advances);
     for (;;) {
       const value_type c = atomic_load(&slots_[i]);
       ++tally.slots;
@@ -482,6 +492,7 @@ class probe_engine {
   // linear probing.
   value_type find(key_type kq) const {
     typename Phase::scope guard(phase_, op_kind::query);
+    obs::latency_sampler lat(hists_);
     obs::count(obs::counter::find_ops);
     const simd::backend b = simd::active();
     if (simd::usable(b, capacity())) return find_tagged(kq, b);
@@ -491,6 +502,7 @@ class probe_engine {
  private:
   value_type find_untagged(key_type kq) const {
     obs::probe_tally tally;
+    obs::probe_depth_scope depth(&hists_, tally);
     const std::size_t cap = capacity();
     std::size_t i = home(kq);
     std::size_t advances = 0;
@@ -533,6 +545,7 @@ class probe_engine {
   // compares are far cheaper than per-slot priority compares.
   value_type find_tagged(key_type kq, simd::backend b) const {
     obs::probe_tally tally;
+    obs::probe_depth_scope depth(&hists_, tally);
     obs::tag_tally tt;
     const std::uint64_t h = Traits::hash(kq);
     const std::uint8_t fp = tag_array::fingerprint(h);
@@ -583,6 +596,7 @@ class probe_engine {
   // all erase_downward needs.
   void erase_tagged(key_type kq, simd::backend b) {
     obs::probe_tally tally;
+    obs::probe_depth_scope depth(&hists_, tally);
     obs::tag_tally tt;
     const std::uint64_t h = Traits::hash(kq);
     const std::uint8_t fp = tag_array::fingerprint(h);
@@ -722,6 +736,11 @@ class probe_engine {
   // use, instead of keeping a parallel phase word.
   phase_runtime& phase_rt() const noexcept { return phase_.runtime(); }
 
+  // The table's distribution block (probe depth, sampled op latency). The
+  // batch engines record pipelined finds here; the registry (obs/registry.h)
+  // exposes it per named table. Zero-size when telemetry is compiled out.
+  obs::table_hists& hists() const noexcept { return hists_; }
+
   // Batch-engine phase hooks: one scope spanning a whole pipelined block
   // (routed through the same phase_runtime as scalar operations), so
   // checked_phases observes batched traffic it would otherwise miss.
@@ -815,6 +834,7 @@ class probe_engine {
   tag_array tags_;
   striped_counter occupied_;
   mutable Phase phase_;
+  [[no_unique_address]] mutable obs::table_hists hists_;
 };
 
 }  // namespace phch

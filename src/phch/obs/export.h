@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 #include "phch/obs/trace.h"
 
@@ -34,15 +35,50 @@ inline void write_counters_json(std::FILE* f, const metrics_snapshot& m,
   std::fprintf(f, "\n%s}", indent);
 }
 
+// Emits one histogram as {"count", "sum", "max", "mean", "p50", "p90",
+// "p99", "buckets": [[lower_bound, count], ...]} (occupied buckets only).
+// Shared with benches that embed distribution summaries in their own JSON.
+inline void write_hist_json(std::FILE* f, const hist_snapshot& h,
+                            const char* indent) {
+  std::fprintf(f,
+               "{\"count\": %" PRIu64 ", \"sum\": %" PRIu64 ", \"max\": %" PRIu64
+               ",\n%s \"mean\": %.3f, \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f,"
+               "\n%s \"buckets\": [",
+               h.count, h.sum, h.max, indent, h.mean(), h.quantile(0.50),
+               h.quantile(0.90), h.quantile(0.99), indent);
+  bool first = true;
+  for (std::uint32_t i = 0; i < kHistBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    std::fprintf(f, "%s[%" PRIu64 ", %" PRIu64 "]", first ? "" : ", ",
+                 hist_bucket_lower(i), h.buckets[i]);
+    first = false;
+  }
+  std::fprintf(f, "]}");
+}
+
 #if PHCH_TELEMETRY_ENABLED
 
 namespace detail {
-// Minimal string escaping for the labels we emit (static names and mark
-// labels under caller control).
+// String escaping for the labels we emit (static names and mark labels
+// under caller control). Escapes quotes, backslashes, and — required for
+// valid JSON — control characters, with short forms for the common ones.
 inline void write_escaped(std::FILE* f, const char* s) {
   for (; *s != '\0'; ++s) {
-    if (*s == '"' || *s == '\\') std::fputc('\\', f);
-    std::fputc(*s, f);
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': std::fputs("\\\"", f); break;
+      case '\\': std::fputs("\\\\", f); break;
+      case '\n': std::fputs("\\n", f); break;
+      case '\t': std::fputs("\\t", f); break;
+      case '\r': std::fputs("\\r", f); break;
+      default:
+        if (c < 0x20) {
+          std::fprintf(f, "\\u%04x", c);
+        } else {
+          std::fputc(*s, f);
+        }
+        break;
+    }
   }
 }
 }  // namespace detail
@@ -54,6 +90,19 @@ inline bool write_metrics_json(const char* path) {
   std::fprintf(f, "{\n  \"telemetry\": true,\n  \"stripes\": %zu,\n", kStripes);
   std::fprintf(f, "  \"counters\": ");
   write_counters_json(f, now, "  ");
+  // Distribution summaries: merged per-table histograms (live + graveyard)
+  // and the process-global duration histograms.
+  std::fprintf(f, ",\n  \"histograms\": {");
+  std::fprintf(f, "\n    \"probe_depth\": ");
+  write_hist_json(f, table_hist_totals(table_hist::probe_depth), "    ");
+  std::fprintf(f, ",\n    \"op_latency_ns\": ");
+  write_hist_json(f, table_hist_totals(table_hist::op_latency_ns), "    ");
+  for (std::size_t i = 0; i < kNumGlobalHists; ++i) {
+    const auto kind = static_cast<global_hist>(i);
+    std::fprintf(f, ",\n    \"%s\": ", global_hist_name(kind));
+    write_hist_json(f, hist_totals(kind), "    ");
+  }
+  std::fprintf(f, "\n  }");
   const auto ms = marks();
   std::fprintf(f, ",\n  \"marks\": [");
   for (std::size_t i = 0; i < ms.size(); ++i) {
@@ -65,6 +114,8 @@ inline bool write_metrics_json(const char* path) {
     std::fprintf(f, ",\n     \"delta\": ");
     write_counters_json(
         f, i == 0 ? ms[i].counters : ms[i].counters - ms[i - 1].counters, "     ");
+    std::fprintf(f, ",\n     \"probe_depth\": ");
+    write_hist_json(f, ms[i].probe_depth, "     ");
     std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  ]\n}\n");
@@ -104,6 +155,20 @@ inline bool write_chrome_trace(const char* path) {
         break;
     }
     std::fprintf(f, "}");
+  }
+  // Counter tracks: the probe-depth distribution summary at every mark
+  // (cumulative count and tail quantiles), rendered by Perfetto as "C"
+  // counter series on their own track.
+  for (const mark_entry& m : marks()) {
+    const double ts_us = static_cast<double>(m.ts_ns) / 1000.0;
+    std::fprintf(f,
+                 "%s  {\"name\": \"probe_depth\", \"ph\": \"C\", \"pid\": 1, "
+                 "\"tid\": 0, \"ts\": %.3f, \"args\": {\"count\": %" PRIu64
+                 ", \"p50\": %.3f, \"p99\": %.3f, \"max\": %" PRIu64 "}}",
+                 first ? "" : ",\n", ts_us, m.probe_depth.count,
+                 m.probe_depth.quantile(0.50), m.probe_depth.quantile(0.99),
+                 m.probe_depth.max);
+    first = false;
   }
   std::fprintf(f, "\n]}\n");
   std::fclose(f);

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 
 namespace phch::obs {
@@ -64,11 +65,15 @@ struct drained_trace {
   std::uint64_t dropped = 0;        // events overwritten by ring wrap
 };
 
-// A labelled quiescent-point counter snapshot (see header comment).
+// A labelled quiescent-point counter snapshot (see header comment). Also
+// captures the global probe-depth distribution so consecutive mark deltas
+// give per-phase histogram summaries (export.h turns these into Perfetto
+// counter tracks).
 struct mark_entry {
   std::string label;
   std::uint64_t ts_ns = 0;
   metrics_snapshot counters;
+  hist_snapshot probe_depth;
 };
 
 #if PHCH_TELEMETRY_ENABLED
@@ -77,12 +82,8 @@ inline constexpr std::size_t kRingCapacity = 1024;  // events kept per stripe
 
 namespace detail {
 
-inline std::uint64_t steady_now_ns() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+// steady_now_ns lives in histogram.h's detail (the duration histograms and
+// the tracer share one clock).
 
 // Process-wide trace epoch: all event timestamps are relative to the first
 // time anything asked for the clock, keeping chrome-trace numbers small.
@@ -192,6 +193,7 @@ inline void mark(const char* label) {
   m.label = label;
   m.ts_ns = now_ns();
   m.counters = snapshot();
+  m.probe_depth = table_hist_totals(table_hist::probe_depth);
   std::uint64_t idx;
   {
     std::lock_guard<std::mutex> lock(detail::g_marks_m);
@@ -243,6 +245,7 @@ inline void reset_trace() {
 
 inline void reset() {
   reset_counters();
+  reset_histograms();
   reset_trace();
 }
 

@@ -50,6 +50,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 
 namespace phch::reclaim {
@@ -67,7 +68,20 @@ struct retired_node {
   void (*deleter)(void*);
   std::uint64_t stamp;  // global epoch at retire time
   retired_node* next;
+#if PHCH_TELEMETRY_ENABLED
+  std::uint64_t retire_ns = 0;  // wall clock at retire; 0 = recording off
+#endif
 };
+
+// Limbo age (retire -> deleter run), recorded only for nodes stamped while
+// recording was on. A free function so the three free sites share it.
+inline void note_limbo_age(const retired_node* n) noexcept {
+#if PHCH_TELEMETRY_ENABLED
+  obs::hist_record_since(obs::global_hist::limbo_age_ns, n->retire_ns);
+#else
+  (void)n;
+#endif
+}
 
 // Upper bound on concurrently registered threads. Slots are recycled at
 // thread exit, so this bounds *live* registrations, not thread churn.
@@ -122,6 +136,7 @@ class registry {
     while (head != nullptr) {
       retired_node* node = head;
       head = node->next;
+      note_limbo_age(node);
       node->deleter(node->ptr);
       delete node;
       ++n;
@@ -139,6 +154,7 @@ inline std::size_t free_expired(retired_node*& list, std::uint64_t g) {
     retired_node* n = *pp;
     if (n->stamp + 2 <= g) {
       *pp = n->next;
+      note_limbo_age(n);
       n->deleter(n->ptr);
       delete n;
       ++freed;
@@ -271,14 +287,19 @@ inline void retire(void* p, void (*del)(void*)) {
     del(p);  // ablation mode: caller guarantees no concurrent readers
     R.freed_total.fetch_add(1, std::memory_order_relaxed);
     obs::count(obs::counter::reclaim_freed);
+    obs::hist_record(obs::global_hist::limbo_age_ns, 0);  // no limbo at all
     return;
   }
   detail::thread_slot* s = detail::my_slot();
   if (s == nullptr) {  // registry full: leak rather than free unsafely
     return;
   }
-  s->limbo = new detail::retired_node{
+  detail::retired_node* node = new detail::retired_node{
       p, del, R.global.load(std::memory_order_acquire), s->limbo};
+#if PHCH_TELEMETRY_ENABLED
+  node->retire_ns = obs::now_if_enabled();
+#endif
+  s->limbo = node;
   s->pending.fetch_add(1, std::memory_order_relaxed);
   // Retire-heavy threads (a deque growing many times between quiescent
   // points) do their own housekeeping so limbo stays bounded.

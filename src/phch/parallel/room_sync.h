@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 #include "phch/parallel/spinlock.h"
 
@@ -60,6 +61,7 @@ class room_sync {
     // Fast path: the room is open (or the building is empty).
     if (try_enter(room)) return;
     obs::count(obs::counter::room_waits);  // once per blocked enter, not per spin
+    const std::uint64_t wait_t0 = obs::now_if_enabled();
     waiters_[static_cast<std::size_t>(room)].fetch_add(1, std::memory_order_acq_rel);
     int spins = 0;
     while (!try_enter(room)) {
@@ -70,6 +72,7 @@ class room_sync {
       }
     }
     waiters_[static_cast<std::size_t>(room)].fetch_sub(1, std::memory_order_acq_rel);
+    obs::hist_record_since(obs::global_hist::room_wait_ns, wait_t0);
   }
 
   // Leaves the current room. The last occupant hands the building to the

@@ -22,11 +22,16 @@
 //   bfs:    insert_commits == reached vertices - 1 (each non-root vertex
 //           committed by exactly one WRITEMIN winner)
 //   mixed:  find_ops/find_hits == lookups issued, erase_hits == n/2
-// and in every workload insert_ops == commits + dups + aborts.
+// and in every workload insert_ops == commits + dups + aborts. For the
+// linear-probing families the probe-depth *histogram* obeys the same
+// discipline — every operation records exactly one sample — so the ledger
+//   Δ hist(probe_depth).count == Δ (find_ops + insert_ops + erase_ops)
+// is checked against the counters after every workload.
 //
 // -table swaps the backend: the same identities must hold for every table
 // in the unified stack, so each reference check is written once against the
-// concepts layer and instantiated per family.
+// concepts layer and instantiated per family. The workload drivers
+// themselves are shared with phch_monitor (tools/trace_workloads.h).
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
@@ -35,26 +40,17 @@
 #include <string>
 #include <vector>
 
-#include "phch/apps/bfs.h"
-#include "phch/apps/remove_duplicates.h"
 #include "phch/core/auto_phased_table.h"
-#include "phch/core/batch_ops.h"
-#include "phch/core/chained_table.h"
-#include "phch/core/cuckoo_table.h"
 #include "phch/core/deterministic_table.h"
-#include "phch/core/hopscotch_table.h"
-#include "phch/core/nd_linear_table.h"
 #include "phch/core/table_common.h"
-#include "phch/core/tombstone_table.h"
-#include "phch/graph/generators.h"
-#include "phch/graph/graph.h"
 #include "phch/obs/export.h"
+#include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 #include "phch/obs/trace.h"
 #include "phch/parallel/scheduler.h"
 #include "phch/utils/cmdline.h"
 #include "phch/utils/rand.h"
-#include "phch/workloads/sequences.h"
+#include "trace_workloads.h"
 
 using namespace phch;
 
@@ -78,45 +74,29 @@ void check_insert_identity(const obs::metrics_snapshot& d) {
                 d[obs::counter::insert_aborts]);
 }
 
-// Table families selectable with -table. cap_mult scales the table sizing:
-// 2-choice cuckoo placement saturates at load 0.5, so it gets the paper's
-// two-tables'-worth of slots and every workload stays below threshold.
-struct det_family {
-  static constexpr std::size_t cap_mult = 1;
-  template <typename Tr> using table = deterministic_table<Tr>;
-};
-struct nd_family {
-  static constexpr std::size_t cap_mult = 1;
-  template <typename Tr> using table = nd_linear_table<Tr>;
-};
-struct tomb_family {
-  static constexpr std::size_t cap_mult = 1;
-  template <typename Tr> using table = tombstone_table<Tr>;
-};
-struct chained_family {
-  static constexpr std::size_t cap_mult = 1;
-  template <typename Tr> using table = chained_table<Tr, true>;
-};
-struct cuckoo_family {
-  static constexpr std::size_t cap_mult = 2;
-  template <typename Tr> using table = cuckoo_table<Tr>;
-};
-struct hopscotch_family {
-  static constexpr std::size_t cap_mult = 1;
-  template <typename Tr> using table = hopscotch_table<Tr, true>;
-};
+// The probe-depth ledger: over the checked window, the linear-probing
+// families record exactly one histogram sample per operation (scalar,
+// tagged, and software-pipelined paths alike, including dropped
+// bounded-wrap erases), so the histogram's population must equal the op
+// counters exactly. `before` is the totals snapshot taken when the window
+// opened.
+void check_probe_ledger(const obs::hist_snapshot& before,
+                        const obs::metrics_snapshot& d) {
+  const obs::hist_snapshot now =
+      obs::table_hist_totals(obs::table_hist::probe_depth);
+  expect_eq("probe-depth ledger: hist == ops", now.count - before.count,
+            d[obs::counter::find_ops] + d[obs::counter::insert_ops] +
+                d[obs::counter::erase_ops]);
+}
 
 template <typename Family>
 obs::metrics_snapshot run_dedup(std::size_t n) {
-  const auto seq = workloads::random_int_seq(n, 1);
   const obs::metrics_snapshot before = obs::snapshot();
-  const auto out =
-      apps::remove_duplicates<typename Family::template table<int_entry<>>>(
-          seq, Family::cap_mult * round_up_pow2(2 * n));
+  const std::size_t out_size = tools::dedup_workload<Family>(n);
   const obs::metrics_snapshot d = obs::snapshot() - before;
   expect_eq("dedup insert_ops", d[obs::counter::insert_ops], n);
-  expect_eq("dedup insert_commits", d[obs::counter::insert_commits], out.size());
-  expect_eq("dedup insert_dups", d[obs::counter::insert_dups], n - out.size());
+  expect_eq("dedup insert_commits", d[obs::counter::insert_commits], out_size);
+  expect_eq("dedup insert_dups", d[obs::counter::insert_dups], n - out_size);
   expect_eq("dedup erase_ops", d[obs::counter::erase_ops], 0);
   expect_eq("dedup find_ops", d[obs::counter::find_ops], 0);
   check_insert_identity(d);
@@ -125,17 +105,9 @@ obs::metrics_snapshot run_dedup(std::size_t n) {
 
 template <typename Family>
 obs::metrics_snapshot run_bfs(std::size_t n) {
-  const auto edges = graph::random_k_edges(n, 5, 1);
-  const auto g = graph::csr_graph::from_edges(n, edges);
   const obs::metrics_snapshot before = obs::snapshot();
-  const auto parents = apps::hash_bfs<
-      typename Family::template table<int_entry<std::uint32_t>>>(
-      g, 0, static_cast<double>(Family::cap_mult));
+  const std::uint64_t reached = tools::bfs_workload<Family>(n);
   const obs::metrics_snapshot d = obs::snapshot() - before;
-  std::uint64_t reached = 0;
-  for (const auto p : parents) {
-    if (p != apps::kNotReached) ++reached;
-  }
   // Every reached vertex except the root is inserted by exactly one winner
   // and commits exactly once (duplicate edges surface as insert_dups).
   expect_eq("bfs insert_commits", d[obs::counter::insert_commits], reached - 1);
@@ -146,34 +118,13 @@ obs::metrics_snapshot run_bfs(std::size_t n) {
 
 template <typename Family>
 obs::metrics_snapshot run_mixed(std::size_t n) {
-  // Distinct nonzero keys so every op count has a closed-form reference.
-  std::vector<std::uint64_t> keys(n);
-  for (std::size_t i = 0; i < n; ++i) keys[i] = hash64(i + 1) | 1;
-  std::vector<std::uint64_t> half(keys.begin(),
-                                  keys.begin() + static_cast<long>(n / 2));
-  typename Family::template table<int_entry<>> t(Family::cap_mult *
-                                                 round_up_pow2(2 * n));
-
   const obs::metrics_snapshot before = obs::snapshot();
-  obs::mark("mixed/start");
-  insert_batch(t, keys);
-  obs::mark("mixed/inserted");
-  const auto found = find_batch(t, keys);
-  obs::mark("mixed/found");
-  erase_batch(t, half);
-  obs::mark("mixed/erased");
+  const tools::mixed_result r = tools::mixed_workload<Family>(n);
   const obs::metrics_snapshot d = obs::snapshot() - before;
-
-  std::uint64_t hits = 0;
-  for (const auto v : found) {
-    if (!int_entry<>::is_empty(v)) ++hits;
-  }
-  // approx_size is exact here: the table is quiescent between phases.
-  const std::uint64_t unique = t.approx_size() + n / 2;
   expect_eq("mixed insert_ops", d[obs::counter::insert_ops], n);
-  expect_eq("mixed insert_commits", d[obs::counter::insert_commits], unique);
+  expect_eq("mixed insert_commits", d[obs::counter::insert_commits], r.unique);
   expect_eq("mixed find_ops", d[obs::counter::find_ops], n);
-  expect_eq("mixed find_hits", d[obs::counter::find_hits], hits);
+  expect_eq("mixed find_hits", d[obs::counter::find_hits], r.find_hits);
   expect_eq("mixed erase_ops", d[obs::counter::erase_ops], n / 2);
   expect_eq("mixed erase_hits", d[obs::counter::erase_hits], n / 2);
   check_insert_identity(d);
@@ -190,9 +141,10 @@ obs::metrics_snapshot run_mixed(std::size_t n) {
 // would show up as a duplicate; one missed would break the counter match).
 obs::metrics_snapshot run_auto(std::size_t n) {
   auto_phased_table<deterministic_table<int_entry<>>> t(round_up_pow2(4 * n));
-  std::vector<std::uint64_t> keys(n);
-  for (std::size_t i = 0; i < n; ++i) keys[i] = hash64(i + 1) | 1;
+  const std::vector<std::uint64_t> keys = tools::distinct_keys(n);
 
+  const obs::hist_snapshot hist_before =
+      obs::table_hist_totals(obs::table_hist::probe_depth);
   const obs::metrics_snapshot before = obs::snapshot();
   obs::mark("auto/phased");
   // Structured stages: three clean class boundaries with a known outcome.
@@ -219,6 +171,7 @@ obs::metrics_snapshot run_auto(std::size_t n) {
 
   expect_eq("auto find_hits after insert", hits.load(), n);
   check_insert_identity(d);
+  check_probe_ledger(hist_before, d);  // the wrapped table is linear-probing
 
   const std::uint64_t epoch = t.underlying().phase_rt().epoch();
   expect_eq("auto ledger: phase_transitions == epoch",
@@ -255,15 +208,19 @@ obs::metrics_snapshot run_auto(std::size_t n) {
 // Returns false on an unknown workload name.
 template <typename Family>
 bool run_workload(const std::string& workload, std::size_t n) {
+  const obs::hist_snapshot hist_before =
+      obs::table_hist_totals(obs::table_hist::probe_depth);
+  obs::metrics_snapshot d;
   if (workload == "dedup") {
-    run_dedup<Family>(n);
+    d = run_dedup<Family>(n);
   } else if (workload == "bfs") {
-    run_bfs<Family>(n);
+    d = run_bfs<Family>(n);
   } else if (workload == "mixed") {
-    run_mixed<Family>(n);
+    d = run_mixed<Family>(n);
   } else {
     return false;
   }
+  if constexpr (Family::probe_ledger) check_probe_ledger(hist_before, d);
   return true;
 }
 
@@ -297,17 +254,17 @@ int main(int argc, char** argv) {
     run_auto(n);  // self-contained mixed workload; -workload is ignored
     known_workload = true;
   } else if (table == "det") {
-    known_workload = run_workload<det_family>(workload, n);
+    known_workload = run_workload<tools::det_family>(workload, n);
   } else if (table == "nd") {
-    known_workload = run_workload<nd_family>(workload, n);
+    known_workload = run_workload<tools::nd_family>(workload, n);
   } else if (table == "tomb") {
-    known_workload = run_workload<tomb_family>(workload, n);
+    known_workload = run_workload<tools::tomb_family>(workload, n);
   } else if (table == "chained") {
-    known_workload = run_workload<chained_family>(workload, n);
+    known_workload = run_workload<tools::chained_family>(workload, n);
   } else if (table == "cuckoo") {
-    known_workload = run_workload<cuckoo_family>(workload, n);
+    known_workload = run_workload<tools::cuckoo_family>(workload, n);
   } else if (table == "hopscotch") {
-    known_workload = run_workload<hopscotch_family>(workload, n);
+    known_workload = run_workload<tools::hopscotch_family>(workload, n);
   } else {
     std::fprintf(stderr,
                  "phch_trace: unknown table '%s' (want det|nd|tomb|chained|"
