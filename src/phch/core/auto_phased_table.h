@@ -4,6 +4,10 @@
 // any thread. Operations of one class still run fully concurrently; the
 // rooms serialize only the transitions between classes.
 //
+// phch_lint: not-a-table
+// (Mixing operation classes is this wrapper's entire purpose, so it is
+// exempt from the PHCH_REQUIRES_PHASE surface contract — DESIGN.md §15.)
+//
 // Phase epoch: each room entry announces its class to the wrapped table's
 // phase_runtime (core/phase_runtime.h), so a room transition advances the
 // same monotone epoch every scalar and batch scope uses — the room word in
@@ -110,7 +114,6 @@ class auto_phased_table {
     {
       room_sync::guard g(rooms_, kQueryRoom);
       note_room(op_kind::query);
-      using traits = typename Table::traits;
       const value_type* slots = table_.raw_slots();
       for (std::size_t s = 0; s < table_.capacity(); ++s) {
         if (!traits::is_empty(slots[s])) out.push_back(slots[s]);
@@ -126,7 +129,6 @@ class auto_phased_table {
     {
       room_sync::guard g(rooms_, kQueryRoom);
       note_room(op_kind::query);
-      using traits = typename Table::traits;
       const value_type* slots = table_.raw_slots();
       for (std::size_t s = 0; s < table_.capacity(); ++s) c += !traits::is_empty(slots[s]);
     }

@@ -11,6 +11,14 @@
 // the home line — overlaps with up to K-1 others, the asynchronous-memory-
 // access-chaining (AMAC) structure of Kocberber et al.
 //
+// Phase capabilities (utils/phase_caps.h, DESIGN.md §15): the free batch
+// functions here are deliberately unannotated — they are templates over
+// *any* table (including capability-free test mocks), and a TSA attribute
+// naming a member the instantiating type lacks is a hard error. The static
+// contract rides on the tables instead: each table's batch_*_scope() entry
+// points carry PHCH_REQUIRES_PHASE, so a marked phase region still rejects
+// a wrong-class batch at its scope-opening call.
+//
 // Per-operation semantics are untouched:
 //  * find_batch and erase_batch pipeline their read-only probe scans fully;
 //    an erase hands off to the table's scalar erase_from continuation once

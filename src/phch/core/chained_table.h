@@ -44,6 +44,7 @@
 #include "phch/parallel/primitives.h"
 #include "phch/parallel/spinlock.h"
 #include "phch/parallel/striped_counter.h"
+#include "phch/utils/phase_caps.h"
 
 namespace phch {
 
@@ -81,26 +82,28 @@ class chained_table {
                   });
   }
 
-  void insert(value_type v) {
+  void insert(value_type v) PHCH_REQUIRES_PHASE(insert) {
     typename Phase::scope guard(phase_, op_kind::insert);
     insert_impl(v);
   }
 
-  void erase(key_type kq) {
+  void erase(key_type kq) PHCH_REQUIRES_PHASE(erase) {
     typename Phase::scope guard(phase_, op_kind::erase);
     erase_impl(kq);
   }
 
-  value_type find(key_type kq) const {
+  value_type find(key_type kq) const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     return find_impl(kq);
   }
 
-  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
+  bool contains(key_type kq) const PHCH_REQUIRES_PHASE(query) {
+    return !Traits::is_empty(find(kq));
+  }
 
   // Paper's scheme: per-bucket chain counts, a prefix sum for offsets, then
   // parallel per-bucket copies.
-  std::vector<value_type> elements() const {
+  std::vector<value_type> elements() const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     std::vector<std::size_t> offsets(num_buckets_);
     parallel_for(0, num_buckets_, [&](std::size_t b) {
@@ -118,7 +121,7 @@ class chained_table {
   }
 
   template <typename F>
-  void for_each(F&& f) const {
+  void for_each(F&& f) const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     parallel_for(0, num_buckets_, [&](std::size_t b) {
       for (const node* n = load_head(b); n; n = n->next) f(n->v);
@@ -131,7 +134,7 @@ class chained_table {
   // parallelism.
 
   template <typename V>
-  void insert_batch(const std::vector<V>& values) {
+  void insert_batch(const std::vector<V>& values) PHCH_REQUIRES_PHASE(insert) {
     [[maybe_unused]] auto scope = batch_insert_scope();
     const std::size_t width = batch_width();
     blocked_for(0, values.size(), 2048,
@@ -141,7 +144,8 @@ class chained_table {
   }
 
   template <typename K>
-  std::vector<value_type> find_batch(const std::vector<K>& keys) const {
+  std::vector<value_type> find_batch(const std::vector<K>& keys) const
+      PHCH_REQUIRES_PHASE(query) {
     std::vector<value_type> out(keys.size());
     [[maybe_unused]] auto scope = batch_query_scope();
     const std::size_t width = batch_width();
@@ -153,7 +157,7 @@ class chained_table {
   }
 
   template <typename K>
-  void erase_batch(const std::vector<K>& keys) {
+  void erase_batch(const std::vector<K>& keys) PHCH_REQUIRES_PHASE(erase) {
     [[maybe_unused]] auto scope = batch_erase_scope();
     const std::size_t width = batch_width();
     blocked_for(0, keys.size(), 2048,
@@ -336,13 +340,13 @@ class chained_table {
   // current class, core/phase_runtime.h), shared by scalar and batch scopes.
   phase_runtime& phase_rt() const noexcept { return phase_.runtime(); }
 
-  typename Phase::scope batch_query_scope() const {
+  typename Phase::scope batch_query_scope() const PHCH_REQUIRES_PHASE(query) {
     return typename Phase::scope(phase_, op_kind::query);
   }
-  typename Phase::scope batch_insert_scope() {
+  typename Phase::scope batch_insert_scope() PHCH_REQUIRES_PHASE(insert) {
     return typename Phase::scope(phase_, op_kind::insert);
   }
-  typename Phase::scope batch_erase_scope() {
+  typename Phase::scope batch_erase_scope() PHCH_REQUIRES_PHASE(erase) {
     return typename Phase::scope(phase_, op_kind::erase);
   }
 
@@ -361,14 +365,17 @@ class chained_table {
 
     node* allocate() {
       // Recycled node?
-      tagged head = free_head_.load();
+      tagged head = free_head_.load(std::memory_order_seq_cst);
       while (head.ptr != nullptr) {
         // Atomic: the current owner may be writing this next field right
         // now if it popped the node between our load and the CAS below —
         // the tag check then discards the value, but the read must still
         // be race-free.
         const tagged next{atomic_load(&head.ptr->next), head.tag + 1};
-        if (free_head_.compare_exchange_weak(head, next)) return head.ptr;
+        if (free_head_.compare_exchange_weak(head, next,
+                                             std::memory_order_seq_cst)) {
+          return head.ptr;
+        }
       }
       // Bump-allocate from the current chunk.
       for (;;) {
@@ -390,11 +397,14 @@ class chained_table {
     }
 
     void release(node* n) {
-      tagged head = free_head_.load();
+      tagged head = free_head_.load(std::memory_order_seq_cst);
       for (;;) {
         atomic_store(&n->next, head.ptr);
         const tagged next{n, head.tag + 1};
-        if (free_head_.compare_exchange_weak(head, next)) return;
+        if (free_head_.compare_exchange_weak(head, next,
+                                             std::memory_order_seq_cst)) {
+          return;
+        }
       }
     }
 
@@ -539,6 +549,11 @@ class chained_table {
   mutable node_pool pool_;
   striped_counter occupied_;
   mutable Phase phase_;
+
+ public:
+  // Phase-capability tokens (utils/phase_caps.h): the static half of the
+  // phase contract the Phase policy enforces at runtime.
+  PHCH_PHASE_CAPABILITIES();
 };
 
 }  // namespace phch

@@ -54,6 +54,7 @@
 #include "phch/obs/trace.h"
 #include "phch/parallel/reclaim.h"
 #include "phch/parallel/spinlock.h"  // cpu_relax
+#include "phch/utils/phase_caps.h"
 
 namespace phch {
 
@@ -99,7 +100,7 @@ class growable_table {
     return cur()->approx_size();
   }
 
-  void insert(value_type v) {
+  void insert(value_type v) PHCH_REQUIRES_PHASE(insert) {
     using result = typename inner_table::insert_result;
     reclaim::op_guard qp;
     for (;;) {
@@ -143,19 +144,19 @@ class growable_table {
   // them out of insert phases (only inserts grow), and even a racy overlap
   // with a migration is memory-safe now — the superseded array stays alive
   // until reclaim's grace period passes.
-  void erase(key_type kq) {
+  void erase(key_type kq) PHCH_REQUIRES_PHASE(erase) {
     reclaim::op_guard qp;
     cur()->erase(kq);
   }
-  value_type find(key_type kq) const {
+  value_type find(key_type kq) const PHCH_REQUIRES_PHASE(query) {
     reclaim::op_guard qp;
     return cur()->find(kq);
   }
-  bool contains(key_type kq) const {
+  bool contains(key_type kq) const PHCH_REQUIRES_PHASE(query) {
     reclaim::op_guard qp;
     return cur()->contains(kq);
   }
-  std::vector<value_type> elements() const {
+  std::vector<value_type> elements() const PHCH_REQUIRES_PHASE(query) {
     reclaim::op_guard qp;
     return cur()->elements();
   }
@@ -170,7 +171,8 @@ class growable_table {
   // trigger several growths. A batch is one insert phase (Definition 1), so
   // finds/erases never run concurrently with it.
 
-  void insert_batch(const value_type* values, std::size_t n) {
+  void insert_batch(const value_type* values, std::size_t n)
+      PHCH_REQUIRES_PHASE(insert) {
     reclaim::op_guard qp;
     for (std::size_t s = 0; s < n;) {
       const std::size_t chunk = std::min(kGrowChunk, n - s);
@@ -193,16 +195,19 @@ class growable_table {
       s += chunk;
     }
   }
-  void insert_batch(const std::vector<value_type>& values) {
+  void insert_batch(const std::vector<value_type>& values)
+      PHCH_REQUIRES_PHASE(insert) {
     insert_batch(values.data(), values.size());
   }
 
-  std::vector<value_type> find_batch(const std::vector<key_type>& keys) const {
+  std::vector<value_type> find_batch(const std::vector<key_type>& keys) const
+      PHCH_REQUIRES_PHASE(query) {
     reclaim::op_guard qp;
     return phch::find_batch(*cur(), keys);
   }
 
-  void erase_batch(const std::vector<key_type>& keys) {
+  void erase_batch(const std::vector<key_type>& keys)
+      PHCH_REQUIRES_PHASE(erase) {
     reclaim::op_guard qp;
     phch::erase_batch(*cur(), keys);
   }
@@ -227,6 +232,11 @@ class growable_table {
 
   // The current incarnation's phase word (same caveat as hists()).
   phase_runtime& phase_rt() const noexcept { return cur()->phase_rt(); }
+
+  // Phase-capability tokens (utils/phase_caps.h): the static half of the
+  // phase contract the Phase policy enforces at runtime. Public so callers'
+  // phase-region markers can name them in their own annotations.
+  PHCH_PHASE_CAPABILITIES();
 
  private:
   // Elements per growth-checked chunk of a batch insert. Small enough that

@@ -48,6 +48,7 @@
 #include "phch/parallel/primitives.h"
 #include "phch/parallel/spinlock.h"
 #include "phch/parallel/striped_counter.h"
+#include "phch/utils/phase_caps.h"
 
 namespace phch {
 
@@ -95,24 +96,26 @@ class hopscotch_table {
     occupied_.reset();
   }
 
-  void insert(value_type v) {
+  void insert(value_type v) PHCH_REQUIRES_PHASE(insert) {
     typename Phase::scope guard(phase_, op_kind::insert);
     insert_impl(v);
   }
 
-  void erase(key_type kq) {
+  void erase(key_type kq) PHCH_REQUIRES_PHASE(erase) {
     typename Phase::scope guard(phase_, op_kind::erase);
     erase_impl(kq);
   }
 
-  value_type find(key_type kq) const {
+  value_type find(key_type kq) const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     return find_impl(kq);
   }
 
-  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
+  bool contains(key_type kq) const PHCH_REQUIRES_PHASE(query) {
+    return !Traits::is_empty(find(kq));
+  }
 
-  std::vector<value_type> elements() const {
+  std::vector<value_type> elements() const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     return pack(
         capacity_, [&](std::size_t i) { return !Traits::is_empty(slots_[i]); },
@@ -120,7 +123,7 @@ class hopscotch_table {
   }
 
   template <typename F>
-  void for_each(F&& f) const {
+  void for_each(F&& f) const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     parallel_for(0, capacity_, [&](std::size_t s) {
       const value_type c = slots_[s];
@@ -134,7 +137,7 @@ class hopscotch_table {
   // parallelism.
 
   template <typename V>
-  void insert_batch(const std::vector<V>& values) {
+  void insert_batch(const std::vector<V>& values) PHCH_REQUIRES_PHASE(insert) {
     [[maybe_unused]] auto scope = batch_insert_scope();
     const std::size_t width = batch_width();
     blocked_for(0, values.size(), 2048,
@@ -144,7 +147,8 @@ class hopscotch_table {
   }
 
   template <typename K>
-  std::vector<value_type> find_batch(const std::vector<K>& keys) const {
+  std::vector<value_type> find_batch(const std::vector<K>& keys) const
+      PHCH_REQUIRES_PHASE(query) {
     std::vector<value_type> out(keys.size());
     [[maybe_unused]] auto scope = batch_query_scope();
     const std::size_t width = batch_width();
@@ -156,7 +160,7 @@ class hopscotch_table {
   }
 
   template <typename K>
-  void erase_batch(const std::vector<K>& keys) {
+  void erase_batch(const std::vector<K>& keys) PHCH_REQUIRES_PHASE(erase) {
     [[maybe_unused]] auto scope = batch_erase_scope();
     const std::size_t width = batch_width();
     blocked_for(0, keys.size(), 2048,
@@ -299,13 +303,13 @@ class hopscotch_table {
   // current class, core/phase_runtime.h), shared by scalar and batch scopes.
   phase_runtime& phase_rt() const noexcept { return phase_.runtime(); }
 
-  typename Phase::scope batch_query_scope() const {
+  typename Phase::scope batch_query_scope() const PHCH_REQUIRES_PHASE(query) {
     return typename Phase::scope(phase_, op_kind::query);
   }
-  typename Phase::scope batch_insert_scope() {
+  typename Phase::scope batch_insert_scope() PHCH_REQUIRES_PHASE(insert) {
     return typename Phase::scope(phase_, op_kind::insert);
   }
-  typename Phase::scope batch_erase_scope() {
+  typename Phase::scope batch_erase_scope() PHCH_REQUIRES_PHASE(erase) {
     return typename Phase::scope(phase_, op_kind::erase);
   }
 
@@ -508,6 +512,11 @@ class hopscotch_table {
   std::vector<std::atomic<std::uint32_t>> timestamps_;
   striped_counter occupied_;
   mutable Phase phase_;
+
+ public:
+  // Phase-capability tokens (utils/phase_caps.h): the static half of the
+  // phase contract the Phase policy enforces at runtime.
+  PHCH_PHASE_CAPABILITIES();
 };
 
 }  // namespace phch

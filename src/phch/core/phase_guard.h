@@ -12,6 +12,13 @@
 // what quiescence-based reclamation (parallel/reclaim.h) keys its grace
 // periods to.
 //
+// These policies are the *dynamic* half of the phase contract; the static
+// half is the capability annotations of utils/phase_caps.h (DESIGN.md §15).
+// The scope guards here carry no thread-safety attributes on purpose: the
+// operation class is a runtime value (op_kind), while TSA capabilities are
+// resolved at compile time — the per-class tokens live on the tables, where
+// the class *is* static (one per annotated public operation).
+//
 // `unchecked_phases` (the default) is the runtime alone — the same-class
 // fast path is one relaxed load and a compare, matching the paper's
 // benchmarked code. `checked_phases` additionally maintains per-table

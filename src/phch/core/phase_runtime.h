@@ -11,6 +11,10 @@
 //
 //     state = (phase epoch << 2) | current operation class
 //
+// (The compile-time mirror of this word is the phase-capability surface in
+// utils/phase_caps.h; see DESIGN.md §15 for how the two halves divide the
+// contract. state_'s orderings are pinned in tools/atomics_contract.tsv.)
+//
 // packed into one cache line. Every operation — scalar, batched, checked or
 // unchecked — announces its class through on_op(). Same-class operations
 // see one relaxed load and a compare; the first operation of a *different*

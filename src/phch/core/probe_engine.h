@@ -79,6 +79,7 @@
 #include "phch/obs/telemetry.h"
 #include "phch/parallel/atomics.h"
 #include "phch/parallel/striped_counter.h"
+#include "phch/utils/phase_caps.h"
 
 namespace phch {
 
@@ -244,7 +245,7 @@ class probe_engine {
   // otherwise). Safe to call concurrently with other inserts only. No return
   // value: commutativity is with respect to table state, and "was it new?"
   // is not well defined under concurrent merging.
-  void insert(value_type v) {
+  void insert(value_type v) PHCH_REQUIRES_PHASE(insert) {
     obs::latency_sampler lat(hists_);
     if constexpr (!Order::ordered_probes) {
       const simd::backend b = simd::active();
@@ -260,7 +261,8 @@ class probe_engine {
   // slot i after the pipelined prefix has advanced past `advances` slots
   // without reaching a commit point. The slot at i is re-loaded here, so a
   // stale prefix read only costs a retry, never correctness.
-  void insert_from(value_type v, std::size_t i, std::size_t advances) {
+  void insert_from(value_type v, std::size_t i, std::size_t advances)
+      PHCH_REQUIRES_PHASE(insert) {
     insert_impl(v, capacity() + 1, i, advances);
   }
 
@@ -269,7 +271,8 @@ class probe_engine {
   // operation has not yet modified the table; once committed (first
   // successful CAS), a displacement chain cannot be abandoned, so the
   // insert completes and merely reports `lengthy`.
-  insert_result insert_bounded(value_type v, std::size_t probe_limit) {
+  insert_result insert_bounded(value_type v, std::size_t probe_limit)
+      PHCH_REQUIRES_PHASE(insert) {
     obs::latency_sampler lat(hists_);
     return insert_impl(v, probe_limit, home(Traits::key(v)), 0);
   }
@@ -378,7 +381,7 @@ class probe_engine {
   // (Figure 1, lines 25-41): removes the (single) entry whose key equals
   // `kq`, filling the hole history-independently via FindReplacement.
   // Tombstone: marks the entry's slot with Traits::busy().
-  void erase(key_type kq) {
+  void erase(key_type kq) PHCH_REQUIRES_PHASE(erase) {
     typename Phase::scope guard(phase_, op_kind::erase);
     obs::latency_sampler lat(hists_);
     obs::count(obs::counter::erase_ops);
@@ -413,7 +416,8 @@ class probe_engine {
   // the key's home. Backshift runs the downward scan from there; tombstone
   // resumes the scalar mark loop at that position (the slot is re-loaded, so
   // a stale pipelined read only costs a few extra probes).
-  void erase_from(key_type kq, std::size_t fwd_advances) {
+  void erase_from(key_type kq, std::size_t fwd_advances)
+      PHCH_REQUIRES_PHASE(erase) {
     typename Phase::scope guard(phase_, op_kind::erase);
     obs::count(obs::counter::erase_ops);
     if constexpr (Delete::uses_tombstones) {
@@ -490,7 +494,7 @@ class probe_engine {
   // Under prioritized order the probe stops at the first slot whose priority
   // is not higher than kq — absent keys can be cheaper than in standard
   // linear probing.
-  value_type find(key_type kq) const {
+  value_type find(key_type kq) const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     obs::latency_sampler lat(hists_);
     obs::count(obs::counter::find_ops);
@@ -696,13 +700,15 @@ class probe_engine {
   }
 
  public:
-  bool contains(key_type kq) const { return !Traits::is_empty(find(kq)); }
+  bool contains(key_type kq) const PHCH_REQUIRES_PHASE(query) {
+    return !Traits::is_empty(find(kq));
+  }
 
   // ELEMENTS(): the live slots packed in slot order, via the shared
   // pack-based implementation. Under prioritized order the result is a
   // deterministic function of the table's contents (history independence).
   // Same phase class as find.
-  std::vector<value_type> elements() const {
+  std::vector<value_type> elements() const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     return packed_elements<Traits>(slots_.data(), capacity(),
                                    [](value_type c) { return is_present(c); });
@@ -710,7 +716,7 @@ class probe_engine {
 
   // Applies f to each live slot (in parallel); query phase.
   template <typename F>
-  void for_each(F&& f) const {
+  void for_each(F&& f) const PHCH_REQUIRES_PHASE(query) {
     typename Phase::scope guard(phase_, op_kind::query);
     parallel_for(0, capacity(), [&](std::size_t s) {
       const value_type c = slots_[s];
@@ -744,13 +750,13 @@ class probe_engine {
   // Batch-engine phase hooks: one scope spanning a whole pipelined block
   // (routed through the same phase_runtime as scalar operations), so
   // checked_phases observes batched traffic it would otherwise miss.
-  typename Phase::scope batch_query_scope() const {
+  typename Phase::scope batch_query_scope() const PHCH_REQUIRES_PHASE(query) {
     return typename Phase::scope(phase_, op_kind::query);
   }
-  typename Phase::scope batch_insert_scope() {
+  typename Phase::scope batch_insert_scope() PHCH_REQUIRES_PHASE(insert) {
     return typename Phase::scope(phase_, op_kind::insert);
   }
-  typename Phase::scope batch_erase_scope() {
+  typename Phase::scope batch_erase_scope() PHCH_REQUIRES_PHASE(erase) {
     return typename Phase::scope(phase_, op_kind::erase);
   }
 
@@ -835,6 +841,12 @@ class probe_engine {
   striped_counter occupied_;
   mutable Phase phase_;
   [[no_unique_address]] mutable obs::table_hists hists_;
+
+ public:
+  // Phase-capability tokens (utils/phase_caps.h): the static half of the
+  // phase contract the Phase policy enforces at runtime. Public so callers'
+  // phase-region markers can name them in their own annotations.
+  PHCH_PHASE_CAPABILITIES();
 };
 
 }  // namespace phch

@@ -52,8 +52,23 @@
 
 #include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
+#include "phch/utils/phase_caps.h"
 
 namespace phch::reclaim {
+
+// Analysis-only token for "this thread is pinned inside a table operation"
+// (an op_guard is alive). Held *shared* — any number of threads are pinned
+// at once. quiescent() and offline() are annotated as excluding it: calling
+// either while pinned is either a silent no-op (quiescent) or a
+// grace-period bug (offline), and under clang -Wthread-safety both become
+// compile errors wherever the guard is visible to the analysis.
+class PHCH_CAPABILITY("reclaim_pin") pin_token {
+ public:
+  pin_token() noexcept = default;
+  pin_token(const pin_token&) = delete;
+  pin_token& operator=(const pin_token&) = delete;
+};
+inline pin_token pin_cap;  // never touched at runtime; TSA bookkeeping only
 
 struct stats_snapshot {
   std::uint64_t retired = 0;  // nodes ever passed to retire()
@@ -318,7 +333,7 @@ inline void retire(T* p) {
 // Announces a quiescent point for the calling thread: it holds no
 // references into reclaim-protected structures. No-op while pinned by an
 // op_guard (a nested announcement would break the grace-period argument).
-inline void quiescent() {
+inline void quiescent() PHCH_EXCLUDES(pin_cap) {
   detail::registry& R = detail::registry::get();
   detail::thread_slot* s = detail::my_slot();
   if (s == nullptr || s->pin_depth != 0) return;
@@ -338,7 +353,7 @@ inline void quiescent() {
 // to touch reclaim-protected memory until online() is called). Scheduler
 // workers wrap the deep-idle sleep in offline()/online() so a sleeping pool
 // never stalls reclamation.
-inline void offline() {
+inline void offline() PHCH_EXCLUDES(pin_cap) {
   detail::thread_slot* s = detail::my_slot();
   if (s != nullptr) s->online.store(false, std::memory_order_release);
 }
@@ -358,12 +373,16 @@ inline void online() {
 // ends. Registration happens in the constructor, *before* the operation
 // loads any protected pointer, which is what makes a thread's first access
 // to a reclaim-protected structure safe.
-class op_guard {
+class PHCH_SCOPED_CAPABILITY op_guard {
  public:
-  op_guard() noexcept : s_(detail::my_slot()) {
+  op_guard() noexcept PHCH_ACQUIRE_SHARED(pin_cap) : s_(detail::my_slot()) {
     if (s_ != nullptr) ++s_->pin_depth;
   }
-  ~op_guard() {
+  // The pin is released *before* the quiescent announcement (pin_depth hits
+  // zero first), which is exactly the call the EXCLUDES annotation on
+  // quiescent() would flag — so the body opts out of the analysis while the
+  // release contract stays visible to callers.
+  ~op_guard() PHCH_RELEASE() PHCH_NO_TSA {
     if (s_ != nullptr && --s_->pin_depth == 0) quiescent();
   }
   op_guard(const op_guard&) = delete;

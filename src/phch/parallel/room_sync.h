@@ -36,10 +36,16 @@
 #include "phch/obs/histogram.h"
 #include "phch/obs/telemetry.h"
 #include "phch/parallel/spinlock.h"
+#include "phch/utils/phase_caps.h"
 
 namespace phch {
 
-class room_sync {
+// A TSA capability held *shared*: any number of threads occupy the open
+// room concurrently (what the capability cannot express — occupants of a
+// different room excluding each other — is the runtime's job). The
+// annotations catch the structural misuses: exiting a room that was never
+// entered, re-entering while already inside, and leaking an occupancy.
+class PHCH_CAPABILITY("room") room_sync {
  public:
   explicit room_sync(int num_rooms)
       : num_rooms_(num_rooms), waiters_(static_cast<std::size_t>(num_rooms)) {
@@ -56,7 +62,7 @@ class room_sync {
   // pause to yield: under the work-stealing pool there can be more runnable
   // threads than cores, and a hard spin would starve the room's occupants
   // of the timeslices they need to leave.
-  void enter(int room) {
+  void enter(int room) PHCH_ACQUIRES_ROOM() {
     assert(room >= 0 && room < num_rooms_);
     // Fast path: the room is open (or the building is empty).
     if (try_enter(room)) return;
@@ -77,7 +83,7 @@ class room_sync {
 
   // Leaves the current room. The last occupant hands the building to the
   // next room with waiters (cyclic scan from the current room).
-  void exit() {
+  void exit() PHCH_RELEASES_ROOM() {
     const std::uint64_t prev = state_.fetch_sub(1, std::memory_order_acq_rel);
     assert((prev & kCountMask) >= 1);
     if ((prev & kCountMask) != 1) return;
@@ -99,10 +105,12 @@ class room_sync {
   }
 
   // RAII occupancy.
-  class guard {
+  class PHCH_SCOPED_CAPABILITY guard {
    public:
-    guard(room_sync& rs, int room) : rs_(rs) { rs_.enter(room); }
-    ~guard() { rs_.exit(); }
+    guard(room_sync& rs, int room) PHCH_ACQUIRES_ROOM(rs) : rs_(rs) {
+      rs_.enter(room);
+    }
+    ~guard() PHCH_RELEASE() { rs_.exit(); }
     guard(const guard&) = delete;
     guard& operator=(const guard&) = delete;
 
@@ -118,7 +126,7 @@ class room_sync {
     return (static_cast<std::uint64_t>(room) << kRoomShift) | count;
   }
 
-  bool try_enter(int room) noexcept {
+  bool try_enter(int room) noexcept PHCH_TRY_ACQUIRE(true) {
     std::uint64_t s = state_.load(std::memory_order_acquire);
     for (;;) {
       const int cur = static_cast<int>(s >> kRoomShift);

@@ -7,10 +7,11 @@
 #include <thread>
 
 #include "phch/utils/arch.h"  // cpu_relax
+#include "phch/utils/phase_caps.h"
 
 namespace phch {
 
-class spinlock {
+class PHCH_CAPABILITY("mutex") spinlock {
  public:
   spinlock() noexcept = default;
   spinlock(const spinlock&) = delete;
@@ -18,7 +19,7 @@ class spinlock {
 
   // Escalates from pause to yield so an oversubscribed work-stealing pool
   // (more runnable threads than cores) cannot starve the lock holder.
-  void lock() noexcept {
+  void lock() noexcept PHCH_ACQUIRE() {
     int spins = 0;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
@@ -32,12 +33,14 @@ class spinlock {
     }
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept PHCH_TRY_ACQUIRE(true) {
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  void unlock() noexcept PHCH_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};

@@ -70,6 +70,24 @@ TEST(Reclaim, NothingFreedBeforeItsGraceEpoch) {
 // op_guard pins the thread: nested quiescent() calls are suppressed (the
 // operation may hold a snapshot pointer into a protected structure), and
 // exactly one announcement happens when the outermost guard closes.
+//
+// The body below is the *deliberate* misuse the annotations in reclaim.h
+// reject statically (quiescent() and a nested guard inside an op_guard),
+// exercised here for its defined runtime behavior — so the helper opts out
+// of the thread-safety analysis.
+static void pin_and_call_quiescent(std::uint64_t g0, int before) PHCH_NO_TSA {
+  reclaim::op_guard outer;
+  reclaim::retire(new probe, &probe_deleter);
+  {
+    reclaim::op_guard inner;  // nesting must not announce either
+    reclaim::quiescent();
+    reclaim::quiescent();
+  }
+  reclaim::quiescent();
+  EXPECT_EQ(reclaim::global_epoch(), g0);  // pinned: no announcements
+  EXPECT_EQ(g_probe_freed.load(), before);
+}
+
 TEST(Reclaim, OpGuardSuppressesNestedQuiescentPoints) {
   const int original = num_workers();
   scheduler::get().set_num_workers(1);
@@ -77,18 +95,7 @@ TEST(Reclaim, OpGuardSuppressesNestedQuiescentPoints) {
 
   const int before = g_probe_freed.load();
   const std::uint64_t g0 = reclaim::global_epoch();
-  {
-    reclaim::op_guard outer;
-    reclaim::retire(new probe, &probe_deleter);
-    {
-      reclaim::op_guard inner;  // nesting must not announce either
-      reclaim::quiescent();
-      reclaim::quiescent();
-    }
-    reclaim::quiescent();
-    EXPECT_EQ(reclaim::global_epoch(), g0);  // pinned: no announcements
-    EXPECT_EQ(g_probe_freed.load(), before);
-  }
+  pin_and_call_quiescent(g0, before);
   // The guard's close was announcement #1; one more completes the grace
   // period.
   EXPECT_EQ(reclaim::global_epoch(), g0 + 1);

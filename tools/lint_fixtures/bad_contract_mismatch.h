@@ -1,0 +1,17 @@
+// Known-bad fixture: explicitly ordered atomic accesses that disagree with
+// the fixture contract (contract.tsv allows only relaxed for `gauge_`, and
+// has no row at all for `orphan_`) — phch_lint must report
+// atomic-contract-order and atomic-contract-missing.
+#pragma once
+
+#include <atomic>
+
+class bad_contract_mismatch {
+ public:
+  int read() const { return gauge_.load(std::memory_order_seq_cst); }
+  void touch() { orphan_.store(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> gauge_{0};
+  std::atomic<int> orphan_{0};
+};

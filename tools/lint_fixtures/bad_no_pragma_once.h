@@ -1,0 +1,4 @@
+// Known-bad fixture: a header without #pragma once — phch_lint must report
+// pragma-once-missing.
+
+inline int fixture_answer() { return 42; }

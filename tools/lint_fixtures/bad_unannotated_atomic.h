@@ -1,0 +1,17 @@
+// Known-bad fixture: atomic accesses that rely on the implicit seq_cst
+// default — phch_lint must report atomic-implicit-order for the load, the
+// store, and the operator form.
+#pragma once
+
+#include <atomic>
+
+class bad_unannotated_atomic {
+ public:
+  int get() const { return counter_.load(); }
+  void set(int v) { counter_.store(v); }
+  void bump() { hits_ += 1; }
+
+ private:
+  std::atomic<int> counter_{0};
+  std::atomic<int> hits_{0};
+};

@@ -1,0 +1,35 @@
+// phch_lint: table-header
+// Known-good fixture: a minimal "table" that satisfies every phch_lint
+// policy — annotated public operations, phase scopes, explicitly ordered
+// atomics covered by the fixture contract, no vendor intrinsics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+struct fixture_phase {
+  struct scope {
+    scope(int&, int) {}
+  };
+};
+
+class good_table {
+ public:
+  void insert(int v) PHCH_REQUIRES_PHASE(insert) {
+    typename fixture_phase::scope guard(phase_, 0);
+    last_.store(v, std::memory_order_release);
+  }
+
+  int find(int) const PHCH_REQUIRES_PHASE(query) {
+    typename fixture_phase::scope guard(phase_, 2);
+    return last_.load(std::memory_order_acquire);
+  }
+
+  bool contains(int k) const PHCH_REQUIRES_PHASE(query) {
+    return find(k) != 0;  // delegation counts as a scope
+  }
+
+ private:
+  mutable int phase_ = 0;
+  std::atomic<int> last_{0};
+};
